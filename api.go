@@ -1,0 +1,231 @@
+package paremsp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/binimg"
+	"repro/internal/core"
+	"repro/internal/pnm"
+	"repro/internal/stats"
+)
+
+// Image is a binary raster: Pix holds Width*Height bytes row-major, each 0
+// (background) or 1 (object pixel).
+type Image = binimg.Image
+
+// LabelMap is the labeling result raster: L holds Width*Height labels
+// row-major; 0 is background, components are numbered 1..NumComponents.
+type LabelMap = binimg.LabelMap
+
+// LabelID is the element type of LabelMap.L and Component.Label (int32).
+type LabelID = binimg.Label
+
+// Component carries per-component statistics (area, bounding box, centroid).
+type Component = stats.Component
+
+// PhaseTimes reports PAREMSP's per-phase wall time (scan / merge / flatten /
+// relabel); the paper's "local" speedup is Scan, "local + merge" is
+// Scan+Merge.
+type PhaseTimes = core.PhaseTimes
+
+// NewImage returns a zeroed binary image.
+func NewImage(width, height int) *Image { return binimg.New(width, height) }
+
+// ParseImage builds an image from ASCII art ('#'/'1' foreground, '.'/'0'/' '
+// background), convenient in tests and examples.
+func ParseImage(art string) (*Image, error) { return binimg.Parse(art) }
+
+// FromGray binarizes a grayscale raster with MATLAB im2bw semantics
+// (luminance strictly greater than level*255 becomes foreground); the paper
+// binarizes all of its datasets with level 0.5.
+func FromGray(width, height int, gray []uint8, level float64) (*Image, error) {
+	return binimg.FromGray(width, height, gray, level)
+}
+
+// DecodePNM reads a PBM (P1/P4) or PGM (P2/P5) stream; grayscale input is
+// binarized at level.
+func DecodePNM(r io.Reader, level float64) (*Image, error) { return pnm.Decode(r, level) }
+
+// DecodePNG reads a PNG stream and binarizes its luminance at level.
+func DecodePNG(r io.Reader, level float64) (*Image, error) { return pnm.DecodePNG(r, level) }
+
+// EncodePBM writes an image as PBM (raw P4 if raw, else plain P1).
+func EncodePBM(w io.Writer, img *Image, raw bool) error { return pnm.EncodePBM(w, img, raw) }
+
+// EncodeLabelsPGM writes a label map as a raw PGM for visual inspection.
+func EncodeLabelsPGM(w io.Writer, lm *LabelMap) error { return pnm.EncodePGM(w, lm) }
+
+// EncodeLabelsPNG writes a label map as a grayscale PNG.
+func EncodeLabelsPNG(w io.Writer, lm *LabelMap) error { return pnm.EncodePNG(w, lm) }
+
+// Algorithm selects a labeling algorithm.
+type Algorithm string
+
+// Algorithms implemented by this library. The first three are the paper's
+// contributions; the rest are the baselines it evaluates against, plus the
+// flood-fill reference.
+const (
+	// AlgPAREMSP is the paper's parallel algorithm (default).
+	AlgPAREMSP Algorithm = "paremsp"
+	// AlgAREMSP is the paper's best sequential algorithm: pair-row scan +
+	// REM's union-find with splicing.
+	AlgAREMSP Algorithm = "aremsp"
+	// AlgCCLREMSP is the paper's second sequential algorithm: decision-tree
+	// scan + REM's union-find with splicing.
+	AlgCCLREMSP Algorithm = "cclremsp"
+	// AlgCCLLRPC is Wu-Otoo-Suzuki: decision-tree scan + link-by-rank with
+	// path compression.
+	AlgCCLLRPC Algorithm = "ccllrpc"
+	// AlgARUN is He-Chao-Suzuki 2012: pair-row scan + rtable equivalences.
+	AlgARUN Algorithm = "arun"
+	// AlgRUN is He-Chao-Suzuki 2008: run-based two-scan.
+	AlgRUN Algorithm = "run"
+	// AlgClassic is the Rosenfeld all-neighbor two-pass scan.
+	AlgClassic Algorithm = "classic"
+	// AlgMultiPass is the repeated forward/backward propagation algorithm.
+	AlgMultiPass Algorithm = "multipass"
+	// AlgSuzuki is the Suzuki-Horiba-Sugie table-accelerated multi-pass
+	// algorithm.
+	AlgSuzuki Algorithm = "suzuki"
+	// AlgFloodFill is the explicit-stack reference labeler.
+	AlgFloodFill Algorithm = "floodfill"
+)
+
+// Algorithms returns every algorithm name, sorted, for CLI -help output and
+// sweep drivers.
+func Algorithms() []Algorithm {
+	out := []Algorithm{
+		AlgPAREMSP, AlgAREMSP, AlgCCLREMSP, AlgCCLLRPC, AlgARUN, AlgRUN,
+		AlgClassic, AlgMultiPass, AlgSuzuki, AlgFloodFill,
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Options configures Label.
+type Options struct {
+	// Algorithm to run; default AlgPAREMSP.
+	Algorithm Algorithm
+	// Threads used by AlgPAREMSP (default: all CPUs). Ignored by the
+	// sequential algorithms.
+	Threads int
+	// Connectivity: 8 (default) or 4. Only AlgClassic, AlgMultiPass and
+	// AlgFloodFill support 4-connectivity; the paper's algorithms are
+	// 8-connected and return an error for 4.
+	Connectivity int
+	// UseCASMerger switches PAREMSP's boundary phase to the lock-free CAS
+	// union instead of the paper's lock-based MERGER.
+	UseCASMerger bool
+}
+
+// Result is a labeling outcome.
+type Result struct {
+	// Labels is the final label map: consecutive labels 1..NumComponents,
+	// background 0.
+	Labels *LabelMap
+	// NumComponents is the number of connected components found.
+	NumComponents int
+	// Phases holds PAREMSP's per-phase times (zero for other algorithms).
+	Phases PhaseTimes
+}
+
+// Label runs the selected algorithm over img.
+func Label(img *Image, opt Options) (*Result, error) {
+	if img == nil {
+		return nil, fmt.Errorf("paremsp: nil image")
+	}
+	alg := opt.Algorithm
+	if alg == "" {
+		alg = AlgPAREMSP
+	}
+	conn := opt.Connectivity
+	if conn == 0 {
+		conn = 8
+	}
+	if conn != 4 && conn != 8 {
+		return nil, fmt.Errorf("paremsp: connectivity must be 4 or 8, got %d", conn)
+	}
+	if conn == 4 {
+		switch alg {
+		case AlgClassic, AlgMultiPass, AlgSuzuki, AlgFloodFill:
+		default:
+			return nil, fmt.Errorf("paremsp: algorithm %q supports only 8-connectivity", alg)
+		}
+	}
+
+	var (
+		lm *LabelMap
+		n  int
+	)
+	res := &Result{}
+	switch alg {
+	case AlgPAREMSP:
+		threads := opt.Threads
+		if threads <= 0 {
+			threads = runtime.GOMAXPROCS(0)
+		}
+		copt := core.Options{Threads: threads}
+		if opt.UseCASMerger {
+			copt.Merger = core.MergerCAS
+		}
+		var times core.PhaseTimes
+		lm, n, times = core.PAREMSPTimed(img, copt)
+		res.Phases = times
+	case AlgAREMSP:
+		lm, n = core.AREMSP(img)
+	case AlgCCLREMSP:
+		lm, n = core.CCLREMSP(img)
+	case AlgCCLLRPC:
+		lm, n = baseline.CCLLRPC(img)
+	case AlgARUN:
+		lm, n = baseline.ARUN(img)
+	case AlgRUN:
+		lm, n = baseline.RUN(img)
+	case AlgClassic:
+		if conn == 4 {
+			lm, n = baseline.Classic4(img)
+		} else {
+			lm, n = baseline.Classic8(img)
+		}
+	case AlgMultiPass:
+		lm, n = baseline.MultiPass(img, baseline.Connectivity(conn))
+	case AlgSuzuki:
+		lm, n = baseline.Suzuki(img, baseline.Connectivity(conn))
+	case AlgFloodFill:
+		lm, n = baseline.FloodFill(img, baseline.Connectivity(conn))
+	default:
+		return nil, fmt.Errorf("paremsp: unknown algorithm %q", alg)
+	}
+	res.Labels = lm
+	res.NumComponents = n
+	return res, nil
+}
+
+// CountComponents labels img with AREMSP and returns only the component
+// count.
+func CountComponents(img *Image) int {
+	_, n := core.AREMSP(img)
+	return n
+}
+
+// ComponentsOf computes per-component statistics from a label map produced
+// by Label.
+func ComponentsOf(lm *LabelMap) []Component { return stats.Components(lm) }
+
+// Validate checks that lm is a structurally correct labeling of img with the
+// claimed component count (conn8 selects the connectivity to verify under).
+func Validate(img *Image, lm *LabelMap, claimed int, conn8 bool) error {
+	return stats.Validate(img, lm, claimed, conn8)
+}
+
+// Equivalent reports whether two labelings encode the same partition (label
+// numbering may differ).
+func Equivalent(a, b *LabelMap) error { return stats.Equivalent(a, b) }
+
+// RelabelByArea renumbers a consecutive labeling in place so label 1 is the
+// largest component, label 2 the next, and so on.
+func RelabelByArea(lm *LabelMap, n int) { stats.RelabelByArea(lm, n) }

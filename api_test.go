@@ -1,0 +1,209 @@
+package paremsp_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	paremsp "repro"
+)
+
+func testImage(t *testing.T) *paremsp.Image {
+	t.Helper()
+	img, err := paremsp.ParseImage(`
+		##..#
+		##..#
+		.....
+		#.#.#`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestLabelDefaultAlgorithm(t *testing.T) {
+	img := testImage(t)
+	res, err := paremsp.Label(img, paremsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 5 {
+		t.Fatalf("NumComponents = %d, want 5", res.NumComponents)
+	}
+	if err := paremsp.Validate(img, res.Labels, res.NumComponents, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelEveryAlgorithmAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	img := paremsp.NewImage(57, 43)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(2))
+	}
+	ref, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgFloodFill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range paremsp.Algorithms() {
+		res, err := paremsp.Label(img, paremsp.Options{Algorithm: alg, Threads: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.NumComponents != ref.NumComponents {
+			t.Fatalf("%s: %d components, reference %d", alg, res.NumComponents, ref.NumComponents)
+		}
+		if err := paremsp.Equivalent(res.Labels, ref.Labels); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestLabelPAREMSPPhases(t *testing.T) {
+	img := testImage(t)
+	res, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgPAREMSP, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.Total() <= 0 {
+		t.Fatalf("phases not recorded: %+v", res.Phases)
+	}
+	if res.Phases.LocalMerge() != res.Phases.Scan+res.Phases.Merge {
+		t.Fatalf("LocalMerge mismatch: %+v", res.Phases)
+	}
+}
+
+func TestLabelCASMerger(t *testing.T) {
+	img := testImage(t)
+	a, err := paremsp.Label(img, paremsp.Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := paremsp.Label(img, paremsp.Options{Threads: 3, UseCASMerger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := paremsp.Equivalent(a.Labels, b.Labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabel4Connectivity(t *testing.T) {
+	img, _ := paremsp.ParseImage("#.\n.#")
+	res, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgFloodFill, Connectivity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 2 {
+		t.Fatalf("4-conn components = %d, want 2", res.NumComponents)
+	}
+	res8, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgAREMSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.NumComponents != 1 {
+		t.Fatalf("8-conn components = %d, want 1", res8.NumComponents)
+	}
+}
+
+func TestLabelErrors(t *testing.T) {
+	img := testImage(t)
+	if _, err := paremsp.Label(nil, paremsp.Options{}); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := paremsp.Label(img, paremsp.Options{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := paremsp.Label(img, paremsp.Options{Connectivity: 6}); err == nil {
+		t.Error("connectivity 6 accepted")
+	}
+	if _, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgAREMSP, Connectivity: 4}); err == nil {
+		t.Error("AREMSP with 4-connectivity accepted")
+	}
+}
+
+func TestAlgorithmsSortedAndComplete(t *testing.T) {
+	algs := paremsp.Algorithms()
+	if len(algs) != 10 {
+		t.Fatalf("Algorithms() returned %d entries, want 10", len(algs))
+	}
+	for i := 1; i < len(algs); i++ {
+		if algs[i-1] >= algs[i] {
+			t.Fatalf("Algorithms() not sorted: %v", algs)
+		}
+	}
+}
+
+func TestCountComponents(t *testing.T) {
+	img := testImage(t)
+	if n := paremsp.CountComponents(img); n != 5 {
+		t.Fatalf("CountComponents = %d, want 5", n)
+	}
+}
+
+func TestComponentsOf(t *testing.T) {
+	img := testImage(t)
+	res, _ := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgAREMSP})
+	comps := paremsp.ComponentsOf(res.Labels)
+	if len(comps) != 5 {
+		t.Fatalf("len = %d, want 5", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		total += c.Area
+	}
+	if total != img.ForegroundCount() {
+		t.Fatalf("areas sum to %d, want %d", total, img.ForegroundCount())
+	}
+}
+
+func TestFromGray(t *testing.T) {
+	img, err := paremsp.FromGray(2, 1, []uint8{10, 250}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pix[0] != 0 || img.Pix[1] != 1 {
+		t.Fatalf("FromGray wrong: %v", img.Pix)
+	}
+}
+
+func TestPNMRoundTripViaFacade(t *testing.T) {
+	img := testImage(t)
+	var buf bytes.Buffer
+	if err := paremsp.EncodePBM(&buf, img, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := paremsp.DecodePNM(&buf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(img) {
+		t.Fatal("facade PBM round trip failed")
+	}
+}
+
+func TestEncodeLabelOutputs(t *testing.T) {
+	img := testImage(t)
+	res, _ := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgAREMSP})
+	var pgm, png bytes.Buffer
+	if err := paremsp.EncodeLabelsPGM(&pgm, res.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pgm.String(), "P5\n") {
+		t.Fatal("PGM output missing magic")
+	}
+	if err := paremsp.EncodeLabelsPNG(&png, res.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if png.Len() == 0 {
+		t.Fatal("PNG output empty")
+	}
+	back, err := paremsp.DecodePNG(&png, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(img) {
+		t.Fatal("PNG label mask does not reproduce the image")
+	}
+}

@@ -1,0 +1,409 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark family per
+// table/figure; see DESIGN.md §5) plus the design-choice ablations of
+// DESIGN.md §6. The same image specs back cmd/paperbench, which prints the
+// tables in the paper's format; these benches expose the raw numbers to
+// `go test -bench` tooling.
+//
+// Bench images are built at benchScale of the paper's sizes so the default
+// sweep completes quickly; run cmd/paperbench with a larger -scale for
+// paper-sized measurements.
+package paremsp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/binimg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/scan"
+	"repro/internal/unionfind"
+)
+
+const benchScale = 0.02
+
+var (
+	benchOnce    sync.Once
+	benchClasses map[string][]*binimg.Image
+	benchNLCD    []*binimg.Image
+)
+
+func benchImages() (map[string][]*binimg.Image, []*binimg.Image) {
+	benchOnce.Do(func() {
+		benchClasses = map[string][]*binimg.Image{}
+		for class, specs := range experiments.SmallClasses(benchScale) {
+			for _, spec := range specs {
+				benchClasses[class] = append(benchClasses[class], spec.Build())
+			}
+		}
+		for _, spec := range experiments.NLCDImages(benchScale) {
+			benchNLCD = append(benchNLCD, spec.Build())
+		}
+	})
+	return benchClasses, benchNLCD
+}
+
+func pixels(imgs []*binimg.Image) int64 {
+	var n int64
+	for _, im := range imgs {
+		n += int64(len(im.Pix))
+	}
+	return n
+}
+
+// BenchmarkTable2 regenerates Table II: the four sequential algorithms over
+// each dataset class. Bytes/op-style throughput is reported as pixels/s via
+// b.SetBytes (one pixel = one byte).
+func BenchmarkTable2(b *testing.B) {
+	classes, nlcd := benchImages()
+	all := map[string][]*binimg.Image{
+		"Aerial": classes["Aerial"], "Texture": classes["Texture"],
+		"Misc": classes["Misc"], "NLCD": nlcd,
+	}
+	for _, class := range experiments.ClassOrder {
+		imgs := all[class]
+		for _, alg := range experiments.SequentialAlgs {
+			b.Run(fmt.Sprintf("%s/%s", class, alg.Name), func(b *testing.B) {
+				b.SetBytes(pixels(imgs))
+				for i := 0; i < b.N; i++ {
+					for _, img := range imgs {
+						alg.Run(img)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV: PAREMSP over each class at the
+// paper's thread counts.
+func BenchmarkTable4(b *testing.B) {
+	classes, nlcd := benchImages()
+	all := map[string][]*binimg.Image{
+		"Aerial": classes["Aerial"], "Texture": classes["Texture"],
+		"Misc": classes["Misc"], "NLCD": nlcd,
+	}
+	for _, class := range experiments.ClassOrder {
+		imgs := all[class]
+		for _, threads := range experiments.Table4Threads {
+			b.Run(fmt.Sprintf("%s/threads=%d", class, threads), func(b *testing.B) {
+				b.SetBytes(pixels(imgs))
+				for i := 0; i < b.N; i++ {
+					for _, img := range imgs {
+						core.PAREMSP(img, threads)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4's underlying measurements: PAREMSP on
+// the small classes across the figure's thread axis (speedup = the
+// threads=0(seq) time divided by the threads=N time).
+func BenchmarkFig4(b *testing.B) {
+	classes, _ := benchImages()
+	for _, class := range []string{"Aerial", "Misc", "Texture"} {
+		imgs := classes[class]
+		b.Run(fmt.Sprintf("%s/sequential", class), func(b *testing.B) {
+			b.SetBytes(pixels(imgs))
+			for i := 0; i < b.N; i++ {
+				for _, img := range imgs {
+					core.AREMSP(img)
+				}
+			}
+		})
+		for _, threads := range experiments.Fig4Threads {
+			b.Run(fmt.Sprintf("%s/threads=%d", class, threads), func(b *testing.B) {
+				b.SetBytes(pixels(imgs))
+				for i := 0; i < b.N; i++ {
+					for _, img := range imgs {
+						core.PAREMSP(img, threads)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5's underlying measurements: per NLCD
+// image and thread count, the local (scan) and local+merge phase times are
+// reported as custom metrics alongside the full run time.
+func BenchmarkFig5(b *testing.B) {
+	_, nlcd := benchImages()
+	for i, img := range nlcd {
+		name := fmt.Sprintf("image_%d_%.0fMB", i+1, experiments.NLCDSizesMB[i])
+		for _, threads := range []int{1, 2, 6, 16, 24} {
+			b.Run(fmt.Sprintf("%s/threads=%d", name, threads), func(b *testing.B) {
+				b.SetBytes(int64(len(img.Pix)))
+				var scanNs, mergeNs float64
+				for i := 0; i < b.N; i++ {
+					_, _, times := core.PAREMSPTimed(img, core.Options{Threads: threads})
+					scanNs += float64(times.Scan.Nanoseconds())
+					mergeNs += float64(times.Merge.Nanoseconds())
+				}
+				b.ReportMetric(scanNs/float64(b.N), "local-ns/op")
+				b.ReportMetric((scanNs+mergeNs)/float64(b.N), "local+merge-ns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationUnionFind holds the scan strategy fixed (pair-row) and
+// varies the equivalence machinery: REMSP (the paper's choice) vs
+// link-by-rank+PC vs the He rtable — isolating the union-find contribution
+// claimed in Table II.
+func BenchmarkAblationUnionFind(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	b.Run("pairscan/remsp", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			core.AREMSP(img)
+		}
+	})
+	b.Run("pairscan/rankpc", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			lm := binimg.NewLabelMap(img.Width, img.Height)
+			sink := baseline.NewRankPCSink(scan.MaxProvisionalLabels(img.Width, img.Height))
+			scan.PairRows(img, lm, sink, 0, img.Height)
+			sink.Flatten()
+			for j, v := range lm.L {
+				if v != 0 {
+					lm.L[j] = sink.Lookup(v)
+				}
+			}
+		}
+	})
+	b.Run("pairscan/hetable", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			baseline.ARUN(img)
+		}
+	})
+}
+
+// BenchmarkAblationScan holds the union-find fixed (REMSP) and varies the
+// scan strategy: pair-row (AREMSP) vs decision tree (CCLREMSP) vs the
+// classic all-neighbor scan — isolating the scan contribution.
+func BenchmarkAblationScan(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	b.Run("pairscan", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			core.AREMSP(img)
+		}
+	})
+	b.Run("decisiontree", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			core.CCLREMSP(img)
+		}
+	})
+	b.Run("allneighbors", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			lm := binimg.NewLabelMap(img.Width, img.Height)
+			sink := core.NewRemSink(scan.MaxProvisionalLabels(img.Width, img.Height))
+			scan.AllNeighbors8(img, lm, sink, 0, img.Height)
+			unionfind.Flatten(sink.Parents(), sink.Count())
+			p := sink.Parents()
+			for j, v := range lm.L {
+				if v != 0 {
+					lm.L[j] = p[v]
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMerger compares the paper's lock-based boundary MERGER
+// with the lock-free CAS variant inside full PAREMSP runs.
+func BenchmarkAblationMerger(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	for _, kind := range []core.MergerKind{core.MergerLocked, core.MergerCAS} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PAREMSPTimed(img, core.Options{Threads: 24, Merger: kind})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBoundary compares parallel vs sequential chunk-boundary
+// merging (the paper parallelizes it; this quantifies the gain).
+func BenchmarkAblationBoundary(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	for _, seq := range []bool{false, true} {
+		name := "parallel"
+		if seq {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PAREMSPTimed(img, core.Options{Threads: 24, SequentialBoundary: seq})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRelabel compares parallel vs sequential final labeling
+// passes.
+func BenchmarkAblationRelabel(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	for _, seq := range []bool{false, true} {
+		name := "parallel"
+		if seq {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PAREMSPTimed(img, core.Options{Threads: 24, SequentialRelabel: seq})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecomposition compares the paper's row-chunk
+// decomposition against 2D tile grids at equal parallelism.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	b.Run("rows=24", func(b *testing.B) {
+		b.SetBytes(int64(len(img.Pix)))
+		for i := 0; i < b.N; i++ {
+			core.PAREMSP(img, 24)
+		}
+	})
+	for _, grid := range [][2]int{{4, 6}, {6, 4}, {24, 1}, {1, 24}} {
+		b.Run(fmt.Sprintf("tiles=%dx%d", grid[0], grid[1]), func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PAREMSP2D(img, grid[0], grid[1], 24)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLockStripes sweeps the striped-lock table size of the
+// boundary MERGER (the paper locks per node; striping trades memory for
+// contention).
+func BenchmarkAblationLockStripes(b *testing.B) {
+	_, nlcd := benchImages()
+	img := nlcd[len(nlcd)-1]
+	for _, stripes := range []int{1, 64, 1 << 10, 1 << 14, 1 << 18} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PAREMSPTimed(img, core.Options{Threads: 24, LockStripes: stripes})
+			}
+		})
+	}
+}
+
+// BenchmarkUnionFindVariants micro-benchmarks the DSU family on a fixed
+// random union/find workload (the Patwary-Blair-Manne comparison underlying
+// the paper's REMSP choice).
+func BenchmarkUnionFindVariants(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	type op struct{ x, y unionfind.Label }
+	ops := make([]op, 3*n)
+	for i := range ops {
+		ops[i] = op{unionfind.Label(rng.Intn(n)), unionfind.Label(rng.Intn(n))}
+	}
+	for _, variant := range unionfind.AllVariants() {
+		if variant == unionfind.VariantQuickFind {
+			continue // O(n) unions: not comparable
+		}
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := unionfind.MustNew(variant, n)
+				for j := 0; j < n; j++ {
+					d.MakeSet()
+				}
+				for _, o := range ops {
+					d.Union(o.x, o.y)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentMergers micro-benchmarks the two concurrent unions on
+// the boundary-merge access pattern (pre-merged chunks, cross-seam edges).
+func BenchmarkConcurrentMergers(b *testing.B) {
+	const n = 1 << 16
+	build := func() []unionfind.Label {
+		p := make([]unionfind.Label, n)
+		for i := range p {
+			p[i] = unionfind.Label(i)
+		}
+		// Pre-merge 64-element chunks (the per-chunk scan result).
+		for c := 0; c < n/64; c++ {
+			for i := 1; i < 64; i++ {
+				unionfind.MergeRemSP(p, unionfind.Label(c*64), unionfind.Label(c*64+i))
+			}
+		}
+		return p
+	}
+	b.Run("locked", func(b *testing.B) {
+		lt := unionfind.NewLockTable(0)
+		p := build()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(7))
+			for pb.Next() {
+				x := unionfind.Label(rng.Intn(n))
+				y := unionfind.Label(rng.Intn(n))
+				unionfind.MergeLocked(p, lt, x, y)
+			}
+		})
+	})
+	b.Run("cas", func(b *testing.B) {
+		p := build()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(7))
+			for pb.Next() {
+				x := unionfind.Label(rng.Intn(n))
+				y := unionfind.Label(rng.Intn(n))
+				unionfind.MergeCAS(p, x, y)
+			}
+		})
+	})
+}
+
+// BenchmarkDatasetGenerators tracks generator cost (they bound how large a
+// -scale the paperbench sweep can use).
+func BenchmarkDatasetGenerators(b *testing.B) {
+	const w, h = 512, 512
+	gens := map[string]func() *binimg.Image{
+		"noise":      func() *binimg.Image { return dataset.UniformNoise(w, h, 0.5, 1) },
+		"landcover":  func() *binimg.Image { return dataset.LandCover(w, h, 64, 0.5, 1) },
+		"aerial":     func() *binimg.Image { return dataset.Aerial(w, h, 1) },
+		"texture":    func() *binimg.Image { return dataset.Texture(w, h, 1) },
+		"misc":       func() *binimg.Image { return dataset.Misc(w, h, 1) },
+		"serpentine": func() *binimg.Image { return dataset.Serpentine(w, h, 2, 3) },
+	}
+	for name, gen := range gens {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(w * h)
+			for i := 0; i < b.N; i++ {
+				gen()
+			}
+		})
+	}
+}

@@ -1,0 +1,23 @@
+// Command cclabel labels the connected components of a binary image file.
+//
+// Usage:
+//
+//	cclabel [-alg paremsp] [-threads 0] [-conn 8] [-level 0.5]
+//	        [-o labels.pgm] [-stats] [-contours] input.{pbm,pgm,png}
+//
+// The input format is detected from the file extension (.pbm/.pgm via the
+// Netpbm decoder, .png via the PNG decoder); grayscale input is binarized at
+// -level (im2bw semantics). With -o, the final labels are written as a PGM
+// or PNG (by extension); -stats prints per-component statistics and
+// -contours prints boundary perimeters.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.CCLabel(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,19 @@
+// Command ccstream labels a raw PBM (P4) image with the out-of-core
+// streaming labeler: only O(width) pixel rows stay resident, provisional
+// labels spill to a scratch file, and the result is written as a CCL1 label
+// stream (see internal/stream for the format).
+//
+// Usage:
+//
+//	ccstream -o labels.ccl huge.pbm
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.CCStream(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,21 @@
+// Command genimg emits synthetic benchmark images (the paper-dataset
+// surrogates of internal/dataset) as PBM files.
+//
+// Usage:
+//
+//	genimg -kind landcover -w 2048 -h 2048 -seed 1 -o image.pbm
+//
+// Kinds: noise, checker, stripes, blobs, serpentine, rings, landcover,
+// aerial, texture, text, misc. Kind-specific knobs have sensible defaults;
+// see -help.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.GenImg(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,23 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section (Tables II-IV, Figures 3-5) plus a weak-scaling
+// experiment, on synthetic surrogates of the paper's datasets.
+//
+// Usage:
+//
+//	paperbench [-exp all|table2|table3|table4|fig3|fig4|fig5|weak]
+//	           [-scale 0.02] [-repeats 3] [-warmup 1]
+//
+// scale shrinks the pixel counts linearly: the paper's 465.2 MB NLCD image
+// becomes 465.2*scale MB. At -scale 1 the sweep needs several GB of memory
+// and many minutes, matching the paper's Cray XE6 runs in size.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.PaperBench(os.Args[1:], os.Stdout, os.Stderr))
+}

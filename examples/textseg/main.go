@@ -1,0 +1,77 @@
+// Character segmentation: the OCR workload the paper's introduction cites
+// (character recognition). A synthetic page of glyphs is labeled; each
+// component's bounding box is a character candidate, grouped into lines by
+// vertical position — the first stage of any OCR pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	paremsp "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	const w, h = 640, 360
+	img := dataset.Text(w, h, "PAREMSP LABELS CC", 3, 7)
+
+	res, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgAREMSP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := paremsp.ComponentsOf(res.Labels)
+	fmt.Printf("page %dx%d: %d glyph components\n\n", w, h, len(comps))
+
+	// Group character boxes into text lines by bbox vertical overlap.
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].MinY != comps[j].MinY {
+			return comps[i].MinY < comps[j].MinY
+		}
+		return comps[i].MinX < comps[j].MinX
+	})
+	type line struct {
+		top, bottom int
+		glyphs      []paremsp.Component
+	}
+	var lines []*line
+	for _, c := range comps {
+		placed := false
+		for _, ln := range lines {
+			if c.MinY <= ln.bottom && c.MaxY >= ln.top { // vertical overlap
+				ln.glyphs = append(ln.glyphs, c)
+				if c.MinY < ln.top {
+					ln.top = c.MinY
+				}
+				if c.MaxY > ln.bottom {
+					ln.bottom = c.MaxY
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lines = append(lines, &line{top: c.MinY, bottom: c.MaxY, glyphs: []paremsp.Component{c}})
+		}
+	}
+
+	for i, ln := range lines {
+		sort.Slice(ln.glyphs, func(a, b int) bool { return ln.glyphs[a].MinX < ln.glyphs[b].MinX })
+		fmt.Printf("line %d (y %d-%d): %d glyphs\n", i+1, ln.top, ln.bottom, len(ln.glyphs))
+		// Estimate inter-character pitch from consecutive box lefts.
+		if len(ln.glyphs) > 1 {
+			gaps := make([]int, 0, len(ln.glyphs)-1)
+			for g := 1; g < len(ln.glyphs); g++ {
+				gaps = append(gaps, ln.glyphs[g].MinX-ln.glyphs[g-1].MinX)
+			}
+			sort.Ints(gaps)
+			fmt.Printf("  median pitch %d px; first boxes:", gaps[len(gaps)/2])
+			for g := 0; g < len(ln.glyphs) && g < 5; g++ {
+				c := ln.glyphs[g]
+				fmt.Printf(" (%d,%d %dx%d)", c.MinX, c.MinY, c.Width(), c.Height())
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package paremsp
+
+import (
+	"repro/internal/contour"
+	"repro/internal/grayccl"
+	"repro/internal/vol3d"
+)
+
+// Contour is the ordered outer boundary of one component.
+type Contour = contour.Contour
+
+// Point is a pixel coordinate on a contour.
+type Point = contour.Point
+
+// TraceContours extracts the outer boundary of every component of a label
+// map with consecutive labels 1..n (Moore neighborhood tracing).
+func TraceContours(lm *LabelMap, n int) []Contour { return contour.TraceAll(lm, n) }
+
+// ContourPerimeter returns the crack-length perimeter estimate of a traced
+// contour (unit steps count 1, diagonal steps sqrt(2)).
+func ContourPerimeter(points []Point) float64 { return contour.Perimeter(points) }
+
+// GrayImage is a grayscale raster (one byte per pixel) for the gray-level
+// labeling extension.
+type GrayImage = grayccl.Image
+
+// Volume is a 3D binary voxel grid for the volumetric labeling extension.
+type Volume = vol3d.Volume
+
+// LabelVolumeMap is the labeling result for a Volume; 0 is background.
+type LabelVolumeMap = vol3d.LabelVolume
+
+// NewGrayImage returns a zeroed grayscale image.
+func NewGrayImage(width, height int) *GrayImage { return grayccl.New(width, height) }
+
+// LabelGray computes gray-level connected components (adjacent pixels with
+// equal values, 8-connectivity) with the paper's pair-scan + REMSP
+// machinery. Every pixel is labeled; labels are consecutive 1..n.
+func LabelGray(img *GrayImage) (*LabelMap, int) { return grayccl.Label(img) }
+
+// LabelGrayParallel is LabelGray with PAREMSP-style chunked parallelism.
+func LabelGrayParallel(img *GrayImage, threads int) (*LabelMap, int) {
+	return grayccl.PLabel(img, threads)
+}
+
+// LabelGrayDelta labels components under the tolerance predicate
+// |v(p)-v(q)| <= delta between adjacent pixels (transitive closure).
+func LabelGrayDelta(img *GrayImage, delta uint8) (*LabelMap, int) {
+	return grayccl.LabelDelta(img, delta)
+}
+
+// NewVolume returns a zeroed 3D binary volume.
+func NewVolume(w, h, d int) *Volume { return vol3d.NewVolume(w, h, d) }
+
+// LabelVolume computes 26-connected components of a binary volume with the
+// sequential two-pass algorithm; labels are consecutive 1..n.
+func LabelVolume(vol *Volume) (*LabelVolumeMap, int) { return vol3d.Label(vol) }
+
+// LabelVolumeParallel is LabelVolume with z-slab parallelism (the PAREMSP
+// construction applied along the z axis).
+func LabelVolumeParallel(vol *Volume, threads int) (*LabelVolumeMap, int) {
+	return vol3d.PLabel(vol, threads)
+}

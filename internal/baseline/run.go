@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"repro/internal/binimg"
+	"repro/internal/equiv"
+	"repro/internal/scan"
+)
+
+// runSpan is a maximal horizontal run of foreground pixels with its
+// provisional label.
+type runSpan struct {
+	y          int32
+	start, end int32 // [start, end) in x
+	label      Label
+}
+
+// RUN is the He-Chao-Suzuki 2008 run-based two-scan algorithm: the first
+// pass decomposes each row into maximal horizontal runs of foreground pixels
+// and resolves equivalences between each run and the runs of the previous
+// row it touches (8-connectivity widens the touch window by one pixel on
+// each side); the second pass paints every recorded run with its final
+// label. Runs, not pixels, carry provisional labels, so merge traffic is far
+// lower than pixel-based scans on long-run images.
+func RUN(img *binimg.Image) (*binimg.LabelMap, int) {
+	w, h := img.Width, img.Height
+	lm := binimg.NewLabelMap(w, h)
+	table := equiv.New(scan.MaxProvisionalLabels(w, h))
+	pix := img.Pix
+
+	runs := make([]runSpan, 0, 1024)
+	prevLo := 0 // index into runs of the previous row's first run
+	for y := 0; y < h; y++ {
+		row := y * w
+		curLo := len(runs)
+		for x := 0; x < w; {
+			if pix[row+x] == 0 {
+				x++
+				continue
+			}
+			start := x
+			for x < w && pix[row+x] != 0 {
+				x++
+			}
+			// 8-connectivity: the run touches previous-row runs overlapping
+			// the window [start-1, end+1).
+			lo, hi := int32(start-1), int32(x+1)
+			var label Label
+			for i := prevLo; i < curLo; i++ {
+				pr := &runs[i]
+				if pr.end <= lo {
+					continue
+				}
+				if pr.start >= hi {
+					break
+				}
+				if label == 0 {
+					label = table.Rep(pr.label)
+				} else {
+					label = table.Resolve(label, pr.label)
+				}
+			}
+			if label == 0 {
+				label = table.NewLabel()
+			}
+			runs = append(runs, runSpan{y: int32(y), start: int32(start), end: int32(x), label: label})
+		}
+		prevLo = curLo
+	}
+
+	n := table.Flatten()
+
+	// Second pass: paint runs with final labels.
+	for i := range runs {
+		r := &runs[i]
+		final := table.Rep(r.label)
+		base := int(r.y) * w
+		for x := r.start; x < r.end; x++ {
+			lm.L[base+int(x)] = final
+		}
+	}
+	return lm, int(n)
+}

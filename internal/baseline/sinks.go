@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"repro/internal/binimg"
+	"repro/internal/equiv"
+	"repro/internal/unionfind"
+)
+
+// Label aliases the repository-wide label type.
+type Label = binimg.Label
+
+// RankPCSink is the label-equivalence recorder of the CCLLRPC baseline:
+// array-based union-find with link-by-rank and full path compression, the
+// technique the paper attributes to Wu-Otoo-Suzuki. It implements scan.Sink.
+type RankPCSink struct {
+	p     []Label
+	rank  []int32
+	count Label
+}
+
+// NewRankPCSink preallocates for at most maxLabels provisional labels.
+// Slot 0 is the background and is never used.
+func NewRankPCSink(maxLabels int) *RankPCSink {
+	return &RankPCSink{
+		p:    make([]Label, maxLabels+1),
+		rank: make([]int32, maxLabels+1),
+	}
+}
+
+// NewLabel creates the next provisional label.
+func (s *RankPCSink) NewLabel() Label {
+	s.count++
+	s.p[s.count] = s.count
+	return s.count
+}
+
+// Merge unites the sets of x and y by rank, compressing both find paths, and
+// returns the surviving root.
+func (s *RankPCSink) Merge(x, y Label) Label {
+	rx := unionfind.FindCompress(s.p, x)
+	ry := unionfind.FindCompress(s.p, y)
+	if rx == ry {
+		return rx
+	}
+	if s.rank[rx] < s.rank[ry] {
+		rx, ry = ry, rx
+	}
+	s.p[ry] = rx
+	if s.rank[rx] == s.rank[ry] {
+		s.rank[rx]++
+	}
+	return rx
+}
+
+// Count returns the number of provisional labels created.
+func (s *RankPCSink) Count() Label { return s.count }
+
+// Flatten resolves all equivalences and renumbers the sets consecutively
+// 1..n, rewriting p so p[l] is l's final label. Unlike REM's forests,
+// rank-linked forests do not satisfy p[i] <= i, so the paper's single-sweep
+// FLATTEN does not apply; this is the general two-sweep equivalent with the
+// same postconditions (consecutive labels, ordered by smallest member).
+func (s *RankPCSink) Flatten() Label {
+	final := make([]Label, s.count+1)
+	var k Label = 1
+	// Increasing-l sweep: a set's smallest member reaches its root first, so
+	// final labels are ordered by smallest member, matching unionfind.Flatten.
+	for l := Label(1); l <= s.count; l++ {
+		r := unionfind.FindCompress(s.p, l)
+		if final[r] == 0 {
+			final[r] = k
+			k++
+		}
+	}
+	// FindCompress(l) left every p[l] pointing directly at its root, so the
+	// rewrite is a flat per-slot lookup.
+	for l := Label(1); l <= s.count; l++ {
+		s.p[l] = final[s.p[l]]
+	}
+	return k - 1
+}
+
+// Lookup returns the final label of provisional label l after Flatten.
+func (s *RankPCSink) Lookup(l Label) Label { return s.p[l] }
+
+// HeSink adapts the He-Chao-Suzuki rtable/next/tail equivalence table
+// (package equiv) to scan.Sink; it is the label machinery of the ARUN and
+// RUN baselines.
+type HeSink struct {
+	T *equiv.Table
+}
+
+// NewHeSink preallocates for at most maxLabels provisional labels.
+func NewHeSink(maxLabels int) *HeSink {
+	return &HeSink{T: equiv.New(maxLabels)}
+}
+
+// NewLabel creates the next provisional label.
+func (s *HeSink) NewLabel() Label { return s.T.NewLabel() }
+
+// Merge resolves the equivalence of x and y, returning the representative.
+func (s *HeSink) Merge(x, y Label) Label { return s.T.Resolve(x, y) }
+
+// Count returns the number of provisional labels created.
+func (s *HeSink) Count() Label { return s.T.Count() }
+
+// Flatten renumbers consecutively; Lookup then maps provisional to final.
+func (s *HeSink) Flatten() Label { return s.T.Flatten() }
+
+// Lookup returns the final label of provisional label l after Flatten.
+func (s *HeSink) Lookup(l Label) Label { return s.T.Rep(l) }

@@ -1,0 +1,80 @@
+package binimg
+
+import "testing"
+
+func TestLabelMapBasics(t *testing.T) {
+	lm := NewLabelMap(4, 3)
+	if lm.Width != 4 || lm.Height != 3 || len(lm.L) != 12 {
+		t.Fatalf("bad shape: %dx%d len %d", lm.Width, lm.Height, len(lm.L))
+	}
+	lm.Set(2, 1, 7)
+	if lm.At(2, 1) != 7 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if lm.Max() != 7 {
+		t.Fatalf("Max = %d, want 7", lm.Max())
+	}
+	if lm.Distinct() != 1 {
+		t.Fatalf("Distinct = %d, want 1", lm.Distinct())
+	}
+}
+
+func TestLabelMapPanics(t *testing.T) {
+	lm := NewLabelMap(2, 2)
+	for _, f := range []func(){
+		func() { lm.At(2, 0) },
+		func() { lm.At(0, -1) },
+		func() { lm.Set(-1, 0, 1) },
+		func() { NewLabelMap(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLabelMapClone(t *testing.T) {
+	lm := NewLabelMap(2, 2)
+	lm.Set(0, 0, 3)
+	cl := lm.Clone()
+	cl.Set(0, 0, 5)
+	if lm.At(0, 0) != 3 {
+		t.Fatal("clone aliases original")
+	}
+	if cl.Width != 2 || cl.Height != 2 {
+		t.Fatal("clone lost shape")
+	}
+}
+
+func TestLabelMapMask(t *testing.T) {
+	lm := NewLabelMap(3, 2)
+	lm.Set(0, 0, 1)
+	lm.Set(2, 1, 9)
+	mask := lm.Mask()
+	want := MustParse("#..\n..#")
+	if !mask.Equal(want) {
+		t.Fatalf("Mask:\n%s\nwant:\n%s", mask, want)
+	}
+}
+
+func TestLabelMapDistinctAndMaxEmpty(t *testing.T) {
+	lm := NewLabelMap(3, 3)
+	if lm.Max() != 0 || lm.Distinct() != 0 {
+		t.Fatalf("empty map: Max=%d Distinct=%d, want 0,0", lm.Max(), lm.Distinct())
+	}
+}
+
+func TestLabelMapString(t *testing.T) {
+	lm := NewLabelMap(4, 1)
+	lm.Set(1, 0, 5)
+	lm.Set(2, 0, 12)
+	lm.Set(3, 0, 100)
+	if got := lm.String(); got != ".5c+" {
+		t.Fatalf("String = %q, want .5c+", got)
+	}
+}

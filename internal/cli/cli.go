@@ -1,0 +1,304 @@
+// Package cli implements the command-line tools (cclabel, genimg,
+// paperbench, ccstream) as testable Run functions; the cmd/* mains are thin wrappers.
+// Each Run parses its own flags from args (excluding the program name),
+// writes human output to stdout and diagnostics to stderr, and returns a
+// process exit code.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	paremsp "repro"
+	"repro/internal/binimg"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/stream"
+)
+
+// CCLabel implements the cclabel command: label a PBM/PGM/PNG file.
+func CCLabel(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cclabel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alg := fs.String("alg", string(paremsp.AlgPAREMSP), "algorithm: "+algList())
+	threads := fs.Int("threads", 0, "worker goroutines for paremsp (0 = all CPUs)")
+	conn := fs.Int("conn", 8, "connectivity: 4 or 8")
+	level := fs.Float64("level", 0.5, "binarization threshold for grayscale input")
+	out := fs.String("o", "", "write labels to this .pgm or .png file")
+	showStats := fs.Bool("stats", false, "print per-component statistics")
+	showContours := fs.Bool("contours", false, "print per-component contour perimeters")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cclabel [flags] input.{pbm,pgm,png}")
+		fs.PrintDefaults()
+		return 2
+	}
+	path := fs.Arg(0)
+	img, err := readImage(path, *level)
+	if err != nil {
+		fmt.Fprintln(stderr, "cclabel:", err)
+		return 1
+	}
+
+	start := time.Now()
+	res, err := paremsp.Label(img, paremsp.Options{
+		Algorithm:    paremsp.Algorithm(*alg),
+		Threads:      *threads,
+		Connectivity: *conn,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cclabel:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stdout, "%s: %dx%d, %d foreground pixels (density %.3f)\n",
+		filepath.Base(path), img.Width, img.Height, img.ForegroundCount(), img.Density())
+	fmt.Fprintf(stdout, "%s found %d components in %v\n", *alg, res.NumComponents, elapsed)
+	if p := res.Phases; p.Total() > 0 {
+		fmt.Fprintf(stdout, "phases: scan %v, merge %v, flatten %v, relabel %v\n",
+			p.Scan, p.Merge, p.Flatten, p.Relabel)
+	}
+
+	if *showStats {
+		fmt.Fprintln(stdout, "label  area  bbox              centroid")
+		for _, c := range paremsp.ComponentsOf(res.Labels) {
+			fmt.Fprintf(stdout, "%5d %5d  (%d,%d)-(%d,%d)  (%.1f, %.1f)\n",
+				c.Label, c.Area, c.MinX, c.MinY, c.MaxX, c.MaxY, c.CentroidX, c.CentroidY)
+		}
+	}
+	if *showContours {
+		fmt.Fprintln(stdout, "label  boundary-pixels  perimeter")
+		for _, c := range paremsp.TraceContours(res.Labels, res.NumComponents) {
+			fmt.Fprintf(stdout, "%5d  %15d  %9.1f\n",
+				c.Label, len(c.Points), paremsp.ContourPerimeter(c.Points))
+		}
+	}
+
+	if *out != "" {
+		if err := writeLabels(*out, res.Labels); err != nil {
+			fmt.Fprintln(stderr, "cclabel:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "labels written to %s\n", *out)
+	}
+	return 0
+}
+
+func algList() string {
+	names := make([]string, 0, 9)
+	for _, a := range paremsp.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, ", ")
+}
+
+func readImage(path string, level float64) (*paremsp.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".pbm", ".pgm":
+		return paremsp.DecodePNM(f, level)
+	case ".png":
+		return paremsp.DecodePNG(f, level)
+	default:
+		return nil, fmt.Errorf("unsupported input extension %q (want .pbm, .pgm or .png)", filepath.Ext(path))
+	}
+}
+
+func writeLabels(path string, lm *paremsp.LabelMap) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".pgm":
+		return paremsp.EncodeLabelsPGM(f, lm)
+	case ".png":
+		return paremsp.EncodeLabelsPNG(f, lm)
+	default:
+		return fmt.Errorf("unsupported output extension %q (want .pgm or .png)", filepath.Ext(path))
+	}
+}
+
+// GenImg implements the genimg command: emit a synthetic dataset as PBM.
+func GenImg(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genimg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "landcover", "generator: noise, checker, stripes, blobs, serpentine, rings, landcover, aerial, texture, text, misc")
+	width := fs.Int("w", 1024, "image width")
+	height := fs.Int("h", 1024, "image height")
+	seed := fs.Int64("seed", 1, "generator seed")
+	density := fs.Float64("density", 0.5, "noise: foreground density")
+	cell := fs.Int("cell", 4, "checker: cell size")
+	thickness := fs.Int("thickness", 2, "stripes/serpentine/rings: stroke thickness")
+	gap := fs.Int("gap", 3, "stripes/serpentine/rings: gap")
+	count := fs.Int("count", 32, "blobs: blob count")
+	scale := fs.Int("scale", 2, "text: glyph scale / landcover: feature scale divisor")
+	text := fs.String("text", "PAREMSP", "text: string to render")
+	out := fs.String("o", "", "output .pbm path (default stdout)")
+	raw := fs.Bool("raw", true, "write raw P4 (false = plain P1)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var img *binimg.Image
+	switch *kind {
+	case "noise":
+		img = dataset.UniformNoise(*width, *height, *density, *seed)
+	case "checker":
+		img = dataset.Checkerboard(*width, *height, *cell)
+	case "stripes":
+		img = dataset.Stripes(*width, *height, *thickness, *gap, false)
+	case "blobs":
+		img = dataset.Blobs(*width, *height, *count, 2, max(3, min(*width, *height)/12), *seed)
+	case "serpentine":
+		img = dataset.Serpentine(*width, *height, *thickness, *gap)
+	case "rings":
+		img = dataset.ConcentricRings(*width, *height, *thickness, *gap)
+	case "landcover":
+		img = dataset.LandCover(*width, *height, max(2, min(*width, *height)/max(1, *scale*16)), 0.5, *seed)
+	case "aerial":
+		img = dataset.Aerial(*width, *height, *seed)
+	case "texture":
+		img = dataset.Texture(*width, *height, *seed)
+	case "text":
+		img = dataset.Text(*width, *height, *text, *scale, *seed)
+	case "misc":
+		img = dataset.Misc(*width, *height, *seed)
+	default:
+		fmt.Fprintf(stderr, "genimg: unknown kind %q\n", *kind)
+		return 2
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "genimg:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := paremsp.EncodePBM(w, img, *raw); err != nil {
+		fmt.Fprintln(stderr, "genimg:", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "genimg: wrote %s (%dx%d, density %.3f)\n",
+			*out, img.Width, img.Height, img.Density())
+	}
+	return 0
+}
+
+// CCStream implements the ccstream command: label a raw PBM (P4) file with
+// the out-of-core streaming labeler, writing a CCL1 label stream. Only
+// O(width) rows of pixels stay resident; the provisional labels spill to a
+// scratch file next to the output.
+func CCStream(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccstream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "labels.ccl", "output CCL1 label-stream path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ccstream [-o labels.ccl] input.pbm")
+		fs.PrintDefaults()
+		return 2
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "ccstream:", err)
+		return 1
+	}
+	defer in.Close()
+	spill, err := os.CreateTemp(filepath.Dir(*out), "ccstream-spill-*")
+	if err != nil {
+		fmt.Fprintln(stderr, "ccstream:", err)
+		return 1
+	}
+	defer os.Remove(spill.Name())
+	defer spill.Close()
+	outF, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccstream:", err)
+		return 1
+	}
+	defer outF.Close()
+
+	start := time.Now()
+	n, err := stream.LabelPBM(in, spill, outF)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccstream:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %d components in %v; labels written to %s\n",
+		filepath.Base(fs.Arg(0)), n, time.Since(start).Round(time.Millisecond), *out)
+	return 0
+}
+
+// PaperBench implements the paperbench command: regenerate the paper's
+// tables and figures.
+func PaperBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: all, table2, table3, table4, fig3, fig4, fig5, weak, ablations")
+	scale := fs.Float64("scale", experiments.DefaultConfig.Scale, "image-size scale factor (1.0 = paper sizes)")
+	repeats := fs.Int("repeats", experiments.DefaultConfig.Repeats, "timed repetitions per image")
+	warmup := fs.Int("warmup", experiments.DefaultConfig.Warmup, "untimed warmup runs per image")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(stderr, "paperbench: -scale must be in (0, 1]")
+		return 2
+	}
+	if *repeats < 1 {
+		fmt.Fprintln(stderr, "paperbench: -repeats must be >= 1")
+		return 2
+	}
+	cfg := experiments.Config{Scale: *scale, Repeats: *repeats, Warmup: *warmup}
+
+	runners := map[string]func(){
+		"table2":    func() { experiments.Table2(stdout, cfg) },
+		"table3":    func() { experiments.Table3(stdout, cfg) },
+		"table4":    func() { experiments.Table4(stdout, cfg) },
+		"fig3":      func() { experiments.Fig3(stdout, cfg) },
+		"fig4":      func() { experiments.Fig4(stdout, cfg) },
+		"fig5":      func() { experiments.Fig5(stdout, cfg) },
+		"weak":      func() { experiments.WeakScaling(stdout, cfg) },
+		"ablations": func() { experiments.Ablations(stdout, cfg) },
+	}
+	order := []string{"fig3", "table2", "table3", "table4", "fig4", "fig5", "weak", "ablations"}
+
+	if *exp == "all" {
+		for i, name := range order {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			runners[name]()
+		}
+		return 0
+	}
+	run, ok := runners[strings.ToLower(*exp)]
+	if !ok {
+		fmt.Fprintf(stderr, "paperbench: unknown experiment %q (want all, %s)\n",
+			*exp, strings.Join(order, ", "))
+		return 2
+	}
+	run()
+	return 0
+}

@@ -1,0 +1,190 @@
+package contour_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/binimg"
+	"repro/internal/contour"
+	"repro/internal/dataset"
+)
+
+func labelOf(t *testing.T, art string) (*binimg.LabelMap, int) {
+	t.Helper()
+	img := binimg.MustParse(art)
+	lm, n := baseline.FloodFill(img, baseline.Conn8)
+	return lm, n
+}
+
+func TestTraceSinglePixel(t *testing.T) {
+	lm, _ := labelOf(t, ".....\n..#..\n.....")
+	pts := contour.Trace(lm, 1)
+	if len(pts) != 1 || pts[0] != (contour.Point{X: 2, Y: 1}) {
+		t.Fatalf("points = %v", pts)
+	}
+	if contour.Perimeter(pts) != 0 {
+		t.Fatalf("single-pixel perimeter = %v", contour.Perimeter(pts))
+	}
+}
+
+func TestTraceSquare(t *testing.T) {
+	lm, _ := labelOf(t, `
+		....
+		.##.
+		.##.
+		....`)
+	pts := contour.Trace(lm, 1)
+	if len(pts) != 4 {
+		t.Fatalf("square contour has %d points: %v", len(pts), pts)
+	}
+	min, max := contour.BoundingBox(pts)
+	if min != (contour.Point{X: 1, Y: 1}) || max != (contour.Point{X: 2, Y: 2}) {
+		t.Fatalf("bbox = %v..%v", min, max)
+	}
+	if p := contour.Perimeter(pts); p != 4 {
+		t.Fatalf("perimeter = %v, want 4", p)
+	}
+}
+
+func TestTraceLine(t *testing.T) {
+	lm, _ := labelOf(t, "####")
+	pts := contour.Trace(lm, 1)
+	// Moore tracing walks a 1-px line out and back: 0,1,2,3,2,1.
+	if len(pts) != 6 {
+		t.Fatalf("line contour has %d points: %v", len(pts), pts)
+	}
+	if pts[0] != (contour.Point{X: 0, Y: 0}) || pts[3] != (contour.Point{X: 3, Y: 0}) {
+		t.Fatalf("line walk wrong: %v", pts)
+	}
+}
+
+func TestTraceRingOuterBoundaryOnly(t *testing.T) {
+	lm, _ := labelOf(t, `
+		#####
+		#...#
+		#.#.#
+		#...#
+		#####`)
+	// Ring + center dot = 2 components; the ring's outer contour must be
+	// its 16 outer pixels, not the hole boundary.
+	pts := contour.Trace(lm, 1)
+	if len(pts) != 16 {
+		t.Fatalf("ring outer contour has %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X != 0 && p.X != 4 && p.Y != 0 && p.Y != 4 {
+			t.Fatalf("interior pixel %v on outer contour", p)
+		}
+	}
+}
+
+func TestTraceAllCoversEveryComponent(t *testing.T) {
+	lm, n := labelOf(t, `
+		#..#..##
+		........
+		.###....
+		........
+		#.#.#.#.`)
+	cs := contour.TraceAll(lm, n)
+	if len(cs) != n {
+		t.Fatalf("TraceAll returned %d contours, want %d", len(cs), n)
+	}
+	for i, c := range cs {
+		if c.Label != binimg.Label(i+1) {
+			t.Fatalf("contour %d has label %d", i, c.Label)
+		}
+		if len(c.Points) == 0 {
+			t.Fatalf("component %d has empty contour", c.Label)
+		}
+		for _, p := range c.Points {
+			if lm.At(p.X, p.Y) != c.Label {
+				t.Fatalf("contour point %v not on component %d", p, c.Label)
+			}
+		}
+	}
+}
+
+func TestTraceMissingLabel(t *testing.T) {
+	lm, _ := labelOf(t, "#")
+	if pts := contour.Trace(lm, 99); pts != nil {
+		t.Fatalf("missing label returned %v", pts)
+	}
+}
+
+// TestPropertyContourLiesOnBoundary: every traced point must have at least
+// one non-component 8-neighbor (or touch the image edge), and every
+// component must yield a non-empty contour whose points carry its label.
+func TestPropertyContourLiesOnBoundary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 2+rng.Intn(24), 2+rng.Intn(24)
+		img := binimg.New(w, h)
+		for i := range img.Pix {
+			if rng.Float64() < 0.55 {
+				img.Pix[i] = 1
+			}
+		}
+		lm, n := baseline.FloodFill(img, baseline.Conn8)
+		for _, c := range contour.TraceAll(lm, n) {
+			if len(c.Points) == 0 {
+				return false
+			}
+			for _, p := range c.Points {
+				if lm.At(p.X, p.Y) != c.Label {
+					return false
+				}
+				boundary := p.X == 0 || p.X == w-1 || p.Y == 0 || p.Y == h-1
+				if !boundary {
+					for dy := -1; dy <= 1 && !boundary; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if lm.At(p.X+dx, p.Y+dy) != c.Label {
+								boundary = true
+								break
+							}
+						}
+					}
+				}
+				if !boundary {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerimeterOfDiskScalesLinearly: doubling a disk's radius roughly
+// doubles its traced perimeter (sanity of the crack-length estimate).
+func TestPerimeterOfDiskScalesLinearly(t *testing.T) {
+	per := func(r int) float64 {
+		img := dataset.Blobs(6*r, 6*r, 0, 1, 1, 0) // empty canvas
+		// Draw one centered disk by brute force.
+		for y := 0; y < img.Height; y++ {
+			for x := 0; x < img.Width; x++ {
+				dx, dy := x-3*r, y-3*r
+				if dx*dx+dy*dy <= r*r {
+					img.Set(x, y, 1)
+				}
+			}
+		}
+		lm, _ := baseline.FloodFill(img, baseline.Conn8)
+		return contour.Perimeter(contour.Trace(lm, 1))
+	}
+	p10, p20 := per(10), per(20)
+	ratio := p20 / p10
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("perimeter ratio %v for radius doubling, want ~2", ratio)
+	}
+}
+
+func TestBoundingBoxEmpty(t *testing.T) {
+	min, max := contour.BoundingBox(nil)
+	if min != (contour.Point{}) || max != (contour.Point{}) {
+		t.Fatal("empty bbox must be zero")
+	}
+}

@@ -1,0 +1,93 @@
+// Package core implements the paper's contributions: the sequential two-pass
+// CCL algorithms CCLREMSP (decision-tree scan + REM's union-find with
+// splicing) and AREMSP (two-rows-at-a-time scan + REMSP), and the parallel
+// algorithm PAREMSP (chunked AREMSP scan + concurrent boundary merge +
+// flatten + relabel).
+package core
+
+import (
+	"repro/internal/binimg"
+	"repro/internal/scan"
+	"repro/internal/unionfind"
+)
+
+// Label aliases the repository-wide label type.
+type Label = binimg.Label
+
+// RemSink records label equivalences in a REM parent array; it is the sink
+// that turns a scan strategy into a *REMSP algorithm. It implements
+// scan.Sink.
+//
+// A sink created with offset > 0 draws labels from [offset+1, ...); PAREMSP
+// gives each chunk a disjoint range this way (paper Alg. 7: "count <- start
+// x col"). The shared parent array is only written at indices the owning
+// chunk creates, so concurrent chunk scans are data-race-free.
+type RemSink struct {
+	p     []Label
+	count Label // last label handed out; next is count+1
+}
+
+// NewRemSink allocates a parent array for at most maxLabels labels, slot 0
+// reserved for background.
+func NewRemSink(maxLabels int) *RemSink {
+	return &RemSink{p: make([]Label, maxLabels+1)}
+}
+
+// NewRemSinkShared wraps a shared parent array, handing out labels starting
+// at offset+1.
+func NewRemSinkShared(p []Label, offset Label) *RemSink {
+	return &RemSink{p: p, count: offset}
+}
+
+// NewLabel creates the next provisional label: count++, p[count] = count
+// (paper Alg. 6 lines 26-28).
+func (s *RemSink) NewLabel() Label {
+	s.count++
+	s.p[s.count] = s.count
+	return s.count
+}
+
+// Merge is REM's union with splicing (paper Alg. 2).
+func (s *RemSink) Merge(x, y Label) Label {
+	return unionfind.MergeRemSP(s.p, x, y)
+}
+
+// Count returns the highest label handed out.
+func (s *RemSink) Count() Label { return s.count }
+
+// Parents exposes the parent array for the flatten pass.
+func (s *RemSink) Parents() []Label { return s.p }
+
+// CCLREMSP is the paper's Algorithm 1: decision-tree scan phase, FLATTEN
+// analysis phase, labeling phase. Returns the final label map (consecutive
+// labels 1..n, background 0) and n.
+func CCLREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
+	lm := binimg.NewLabelMap(img.Width, img.Height)
+	sink := NewRemSink(scan.MaxProvisionalLabels(img.Width, img.Height))
+	scan.DecisionTree(img, lm, sink, 0, img.Height)
+	n := unionfind.Flatten(sink.p, sink.count)
+	relabelSeq(lm, sink.p)
+	return lm, int(n)
+}
+
+// AREMSP is the paper's Algorithm 5: two-rows-at-a-time scan phase (Alg. 6),
+// FLATTEN analysis phase (Alg. 3), labeling phase. This is the paper's best
+// sequential algorithm and the one PAREMSP parallelizes.
+func AREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
+	lm := binimg.NewLabelMap(img.Width, img.Height)
+	sink := NewRemSink(scan.MaxProvisionalLabels(img.Width, img.Height))
+	scan.PairRows(img, lm, sink, 0, img.Height)
+	n := unionfind.Flatten(sink.p, sink.count)
+	relabelSeq(lm, sink.p)
+	return lm, int(n)
+}
+
+// relabelSeq rewrites provisional labels to final labels through the
+// flattened parent array (labeling phase: label(e) <- p[label(e)]).
+func relabelSeq(lm *binimg.LabelMap, p []Label) {
+	for i, v := range lm.L {
+		if v != 0 {
+			lm.L[i] = p[v]
+		}
+	}
+}

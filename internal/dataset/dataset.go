@@ -1,0 +1,395 @@
+// Package dataset generates the synthetic binary-image workloads that stand
+// in for the paper's datasets (USC-SIPI Texture/Aerial/Miscellaneous and the
+// US National Land Cover Database 2006), which are not redistributable in
+// this offline environment. Every generator is deterministic in its seed.
+//
+// What matters for CCL cost is not the pictures themselves but the
+// binarized-image statistics that drive the algorithms: foreground density,
+// component count and size distribution, run-length distribution (merge
+// traffic), and raster size. Each generator targets the regime of its class:
+//
+//   - Texture: high-frequency periodic/noisy fields — many small components,
+//     heavy merge traffic.
+//   - Aerial: cellular-automata terrain with road grids — medium components
+//     with irregular boundaries.
+//   - Miscellaneous: sparse blob/glyph scenes — few compact components.
+//   - NLCD: multi-octave value-noise land cover — huge rasters, large
+//     sprawling regions; the paper's scaling workload.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/binimg"
+)
+
+// UniformNoise fills a w x h image with i.i.d. foreground pixels at the
+// given density in [0, 1]. Density 0.5 is the classic CCL stress case:
+// maximal label-equivalence traffic under 8-connectivity.
+func UniformNoise(w, h int, density float64, seed int64) *binimg.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := binimg.New(w, h)
+	for i := range im.Pix {
+		if rng.Float64() < density {
+			im.Pix[i] = 1
+		}
+	}
+	return im
+}
+
+// Checkerboard fills the image with an alternating cell pattern of the given
+// cell size. cell=1 is the worst case for provisional-label creation under
+// 4-connectivity and heavy diagonal-merge traffic under 8-connectivity.
+func Checkerboard(w, h, cell int) *binimg.Image {
+	if cell < 1 {
+		panic("dataset: cell must be >= 1")
+	}
+	im := binimg.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if ((x/cell)+(y/cell))%2 == 0 {
+				im.Pix[y*w+x] = 1
+			}
+		}
+	}
+	return im
+}
+
+// Stripes draws foreground bands of the given thickness separated by gap
+// background rows (vertical=false) or columns (vertical=true).
+func Stripes(w, h, thickness, gap int, vertical bool) *binimg.Image {
+	if thickness < 1 || gap < 0 {
+		panic("dataset: thickness must be >= 1 and gap >= 0")
+	}
+	im := binimg.New(w, h)
+	period := thickness + gap
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y % period
+			if vertical {
+				v = x % period
+			}
+			if v < thickness {
+				im.Pix[y*w+x] = 1
+			}
+		}
+	}
+	return im
+}
+
+// Blobs scatters n filled disks with radii drawn uniformly from
+// [rMin, rMax]. Disks may overlap (overlaps merge into one component).
+func Blobs(w, h, n, rMin, rMax int, seed int64) *binimg.Image {
+	if rMin < 1 || rMax < rMin {
+		panic("dataset: need 1 <= rMin <= rMax")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	im := binimg.New(w, h)
+	for i := 0; i < n; i++ {
+		r := rMin + rng.Intn(rMax-rMin+1)
+		cx := rng.Intn(w)
+		cy := rng.Intn(h)
+		fillDisk(im, cx, cy, r)
+	}
+	return im
+}
+
+func fillDisk(im *binimg.Image, cx, cy, r int) {
+	for dy := -r; dy <= r; dy++ {
+		y := cy + dy
+		if y < 0 || y >= im.Height {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			x := cx + dx
+			if x < 0 || x >= im.Width {
+				continue
+			}
+			if dx*dx+dy*dy <= r*r {
+				im.Pix[y*im.Width+x] = 1
+			}
+		}
+	}
+}
+
+// Serpentine draws one boustrophedon path: full-width horizontal bands of
+// the given thickness separated by gap background rows, joined alternately
+// at the right and left ends. The result is a single long snaking component
+// — the pathological case for repeated-pass algorithms (label information
+// must propagate along the whole path) and a deep-merge stress for
+// union-find.
+func Serpentine(w, h, thickness, gap int) *binimg.Image {
+	if thickness < 1 || gap < 1 {
+		panic("dataset: thickness and gap must be >= 1")
+	}
+	im := binimg.New(w, h)
+	step := thickness + gap
+	connectRight := true
+	for y0 := 0; y0 < h; y0 += step {
+		y1 := minInt(y0+thickness, h)
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				im.Pix[y*w+x] = 1
+			}
+		}
+		// Connector to the next band, alternating sides.
+		if y0+step < h {
+			x0, x1 := maxInt(0, w-thickness), w
+			if !connectRight {
+				x0, x1 = 0, minInt(thickness, w)
+			}
+			for y := y1; y < minInt(y0+step, h); y++ {
+				for x := x0; x < x1; x++ {
+					im.Pix[y*w+x] = 1
+				}
+			}
+			connectRight = !connectRight
+		}
+	}
+	return im
+}
+
+// ConcentricRings draws nested square rings: many nested components whose
+// equivalences resolve only at ring corners — a flatten/merge stress.
+func ConcentricRings(w, h, thickness, gap int) *binimg.Image {
+	if thickness < 1 || gap < 1 {
+		panic("dataset: thickness and gap must be >= 1")
+	}
+	im := binimg.New(w, h)
+	step := thickness + gap
+	for inset := 0; inset*2 < minInt(w, h); inset += step {
+		x0, y0, x1, y1 := inset, inset, w-1-inset, h-1-inset
+		if x0 > x1 || y0 > y1 {
+			break
+		}
+		for t := 0; t < thickness; t++ {
+			drawFrame(im, x0+t, y0+t, x1-t, y1-t)
+		}
+	}
+	return im
+}
+
+func drawFrame(im *binimg.Image, x0, y0, x1, y1 int) {
+	if x0 > x1 || y0 > y1 || x0 < 0 || y0 < 0 || x1 >= im.Width || y1 >= im.Height {
+		return
+	}
+	for x := x0; x <= x1; x++ {
+		im.Pix[y0*im.Width+x] = 1
+		im.Pix[y1*im.Width+x] = 1
+	}
+	for y := y0; y <= y1; y++ {
+		im.Pix[y*im.Width+x0] = 1
+		im.Pix[y*im.Width+x1] = 1
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// valueNoise computes seeded multi-octave bilinear value noise in [0, 1] at
+// (x, y); the NLCD surrogate thresholds it. gridSize is the coarsest feature
+// scale in pixels.
+type valueNoise struct {
+	seed    int64
+	octaves int
+	grid    float64
+}
+
+func (v valueNoise) lattice(ix, iy, octave int64) float64 {
+	// SplitMix64-style hash of the lattice point -> [0, 1).
+	z := uint64(v.seed) ^ uint64(ix)*0x9E3779B97F4A7C15 ^ uint64(iy)*0xC2B2AE3D27D4EB4F ^ uint64(octave)*0x165667B19E3779F9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func (v valueNoise) at(x, y float64) float64 {
+	sum, amp, norm := 0.0, 1.0, 0.0
+	scale := v.grid
+	for o := 0; o < v.octaves; o++ {
+		gx, gy := x/scale, y/scale
+		ix, iy := math.Floor(gx), math.Floor(gy)
+		fx, fy := gx-ix, gy-iy
+		// Smoothstep fade.
+		fx = fx * fx * (3 - 2*fx)
+		fy = fy * fy * (3 - 2*fy)
+		i64x, i64y := int64(ix), int64(iy)
+		v00 := v.lattice(i64x, i64y, int64(o))
+		v10 := v.lattice(i64x+1, i64y, int64(o))
+		v01 := v.lattice(i64x, i64y+1, int64(o))
+		v11 := v.lattice(i64x+1, i64y+1, int64(o))
+		val := v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+		sum += val * amp
+		norm += amp
+		amp *= 0.5
+		scale /= 2
+		if scale < 1 {
+			break
+		}
+	}
+	return sum / norm
+}
+
+// LandCover is the NLCD 2006 surrogate: thresholded multi-octave value
+// noise. level plays the role of im2bw's 0.5 threshold on the grayscale
+// land-cover raster; featureScale sets the coarsest region size in pixels.
+// The result has large sprawling regions with fractal boundaries — the load
+// profile of the paper's big-image scaling runs.
+func LandCover(w, h int, featureScale int, level float64, seed int64) *binimg.Image {
+	if featureScale < 2 {
+		panic("dataset: featureScale must be >= 2")
+	}
+	vn := valueNoise{seed: seed, octaves: 5, grid: float64(featureScale)}
+	im := binimg.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if vn.at(float64(x), float64(y)) > level {
+				im.Pix[y*w+x] = 1
+			}
+		}
+	}
+	return im
+}
+
+// Aerial is the USC-SIPI "Aerial" surrogate: cellular-automata terrain
+// (4-5 rule cave generation over seeded noise) overlaid with a sparse road
+// grid — mid-sized irregular components cut by thin linear structures.
+func Aerial(w, h int, seed int64) *binimg.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := binimg.New(w, h)
+	for i := range im.Pix {
+		if rng.Float64() < 0.46 {
+			im.Pix[i] = 1
+		}
+	}
+	// Smooth with the 4-5 rule: a pixel becomes foreground if 5+ of its 3x3
+	// neighborhood (counting itself) are foreground.
+	for iter := 0; iter < 4; iter++ {
+		next := make([]uint8, len(im.Pix))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				n := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := x+dx, y+dy
+						if nx < 0 || nx >= w || ny < 0 || ny >= h {
+							n++ // borders count as land
+							continue
+						}
+						n += int(im.Pix[ny*w+nx])
+					}
+				}
+				if n >= 5 {
+					next[y*w+x] = 1
+				}
+			}
+		}
+		im.Pix = next
+	}
+	// Road grid: background streets every ~64 pixels cut the terrain.
+	roadPeriod := maxInt(32, minInt(w, h)/8)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x%roadPeriod < 2 || y%roadPeriod < 2 {
+				im.Pix[y*w+x] = 0
+			}
+		}
+	}
+	return im
+}
+
+// glyph5x7 is a tiny bitmap font used by Text; each glyph is 5 columns by
+// 7 rows, encoded row-major as 35 bits.
+var glyph5x7 = map[rune][7]uint8{
+	'A': {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'B': {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110},
+	'C': {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110},
+	'E': {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111},
+	'G': {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01110},
+	'I': {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'L': {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111},
+	'M': {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001},
+	'N': {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001},
+	'O': {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'P': {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000},
+	'R': {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001},
+	'S': {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110},
+	'T': {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	' ': {},
+}
+
+// Text renders the given string repeatedly across the image at the given
+// pixel scale (each glyph cell is 5*scale x 7*scale with one glyph-column of
+// spacing) — the OCR/character-recognition workload class. Unsupported runes
+// render as spaces.
+func Text(w, h int, s string, scale int, seed int64) *binimg.Image {
+	if scale < 1 {
+		panic("dataset: scale must be >= 1")
+	}
+	im := binimg.New(w, h)
+	if len(s) == 0 {
+		return im
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cellW, cellH := 6*scale, 9*scale
+	runes := []rune(s)
+	for y0 := rng.Intn(cellH / 2); y0+7*scale <= h; y0 += cellH {
+		for i, x0 := 0, rng.Intn(cellW/2); x0+5*scale <= w; i, x0 = i+1, x0+cellW {
+			g := glyph5x7[runes[i%len(runes)]]
+			for gy := 0; gy < 7; gy++ {
+				for gx := 0; gx < 5; gx++ {
+					if g[gy]&(1<<(4-gx)) == 0 {
+						continue
+					}
+					for sy := 0; sy < scale; sy++ {
+						for sx := 0; sx < scale; sx++ {
+							im.Pix[(y0+gy*scale+sy)*w+x0+gx*scale+sx] = 1
+						}
+					}
+				}
+			}
+		}
+	}
+	return im
+}
+
+// Misc is the USC-SIPI "Miscellaneous" surrogate: a sparse scene mixing
+// blobs and text glyphs — few, compact components.
+func Misc(w, h int, seed int64) *binimg.Image {
+	im := Blobs(w, h, maxInt(4, w*h/20000), 3, maxInt(4, minInt(w, h)/12), seed)
+	txt := Text(w, h, "PAREMSP", maxInt(1, minInt(w, h)/96), seed+1)
+	for i, v := range txt.Pix {
+		if v != 0 {
+			im.Pix[i] = 1
+		}
+	}
+	return im
+}
+
+// Texture is the USC-SIPI "Texture" surrogate: thresholded high-frequency
+// value noise — dense, small-grained components with heavy merge traffic.
+func Texture(w, h int, seed int64) *binimg.Image {
+	vn := valueNoise{seed: seed, octaves: 3, grid: 6}
+	im := binimg.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if vn.at(float64(x), float64(y)) > 0.5 {
+				im.Pix[y*w+x] = 1
+			}
+		}
+	}
+	return im
+}

@@ -1,0 +1,207 @@
+package dataset_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+)
+
+func TestUniformNoiseDeterministicAndDense(t *testing.T) {
+	a := dataset.UniformNoise(100, 100, 0.5, 7)
+	b := dataset.UniformNoise(100, 100, 0.5, 7)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different images")
+	}
+	c := dataset.UniformNoise(100, 100, 0.5, 8)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical images")
+	}
+	if d := a.Density(); d < 0.45 || d > 0.55 {
+		t.Fatalf("density %v far from 0.5", d)
+	}
+	if d := dataset.UniformNoise(100, 100, 0, 1).Density(); d != 0 {
+		t.Fatalf("density-0 noise has foreground %v", d)
+	}
+	if d := dataset.UniformNoise(100, 100, 1, 1).Density(); d != 1 {
+		t.Fatalf("density-1 noise has background %v", d)
+	}
+}
+
+func TestCheckerboardStructure(t *testing.T) {
+	im := dataset.Checkerboard(8, 8, 1)
+	if im.At(0, 0) != 1 || im.At(1, 0) != 0 || im.At(1, 1) != 1 {
+		t.Fatal("cell-1 checkerboard wrong")
+	}
+	if im.ForegroundCount() != 32 {
+		t.Fatalf("count = %d, want 32", im.ForegroundCount())
+	}
+	im3 := dataset.Checkerboard(9, 9, 3)
+	if im3.At(0, 0) != 1 || im3.At(2, 2) != 1 || im3.At(3, 0) != 0 {
+		t.Fatal("cell-3 checkerboard wrong")
+	}
+}
+
+func TestStripesComponentCount(t *testing.T) {
+	// 40 rows, thickness 2, gap 3 -> stripes at y%5<2: rows 0-1, 5-6, ...
+	im := dataset.Stripes(30, 40, 2, 3, false)
+	_, n := baseline.FloodFill(im, baseline.Conn8)
+	if n != 8 {
+		t.Fatalf("horizontal stripes: %d components, want 8", n)
+	}
+	imv := dataset.Stripes(40, 30, 2, 3, true)
+	_, nv := baseline.FloodFill(imv, baseline.Conn8)
+	if nv != 8 {
+		t.Fatalf("vertical stripes: %d components, want 8", nv)
+	}
+}
+
+func TestBlobsWithinBounds(t *testing.T) {
+	im := dataset.Blobs(50, 50, 10, 2, 6, 3)
+	if im.ForegroundCount() == 0 {
+		t.Fatal("blobs produced empty image")
+	}
+	if err := im.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, n := baseline.FloodFill(im, baseline.Conn8)
+	if n < 1 || n > 10 {
+		t.Fatalf("blob count %d outside [1, 10]", n)
+	}
+}
+
+func TestSerpentineSingleComponent(t *testing.T) {
+	for _, size := range []int{21, 41, 81} {
+		im := dataset.Serpentine(size, size, 2, 3)
+		_, n := baseline.FloodFill(im, baseline.Conn8)
+		if n != 1 {
+			t.Fatalf("serpentine %dx%d has %d components, want 1", size, size, n)
+		}
+	}
+}
+
+func TestConcentricRingsComponentCount(t *testing.T) {
+	// 32x32, thickness 1, gap 3: rings at insets 0, 4, 8, 12 -> 4 components.
+	im := dataset.ConcentricRings(32, 32, 1, 3)
+	_, n := baseline.FloodFill(im, baseline.Conn8)
+	if n != 4 {
+		t.Fatalf("rings: %d components, want 4", n)
+	}
+}
+
+func TestLandCoverDeterministicAndBalanced(t *testing.T) {
+	a := dataset.LandCover(128, 128, 32, 0.5, 9)
+	b := dataset.LandCover(128, 128, 32, 0.5, 9)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different land cover")
+	}
+	d := a.Density()
+	if d < 0.2 || d > 0.8 {
+		t.Fatalf("land-cover density %v implausible for level 0.5", d)
+	}
+	// Raising the threshold must not increase foreground.
+	hi := dataset.LandCover(128, 128, 32, 0.7, 9)
+	if hi.ForegroundCount() > a.ForegroundCount() {
+		t.Fatal("higher threshold produced more foreground")
+	}
+}
+
+func TestAerialHasRoadsAndTerrain(t *testing.T) {
+	im := dataset.Aerial(128, 128, 4)
+	d := im.Density()
+	if d < 0.1 || d > 0.9 {
+		t.Fatalf("aerial density %v implausible", d)
+	}
+	// Road rows are background: y = 0 and 1 are roads (y%period < 2).
+	for x := 0; x < im.Width; x++ {
+		if im.At(x, 0) != 0 || im.At(x, 1) != 0 {
+			t.Fatal("road rows not cleared")
+		}
+	}
+	if !im.Equal(dataset.Aerial(128, 128, 4)) {
+		t.Fatal("aerial not deterministic")
+	}
+}
+
+func TestTextureGrain(t *testing.T) {
+	im := dataset.Texture(96, 96, 11)
+	_, n := baseline.FloodFill(im, baseline.Conn8)
+	if n < 5 {
+		t.Fatalf("texture has only %d components; expected fine grain", n)
+	}
+	if !im.Equal(dataset.Texture(96, 96, 11)) {
+		t.Fatal("texture not deterministic")
+	}
+}
+
+func TestTextRendersGlyphs(t *testing.T) {
+	im := dataset.Text(64, 32, "I", 1, 1)
+	if im.ForegroundCount() == 0 {
+		t.Fatal("text image empty")
+	}
+	empty := dataset.Text(64, 32, "", 1, 1)
+	if empty.ForegroundCount() != 0 {
+		t.Fatal("empty string rendered pixels")
+	}
+	// Unknown runes render as spaces.
+	spaces := dataset.Text(64, 32, "@@@", 1, 1)
+	if spaces.ForegroundCount() != 0 {
+		t.Fatal("unsupported runes rendered pixels")
+	}
+}
+
+func TestMiscMixesContent(t *testing.T) {
+	im := dataset.Misc(128, 128, 21)
+	if im.ForegroundCount() == 0 {
+		t.Fatal("misc image empty")
+	}
+	_, n := baseline.FloodFill(im, baseline.Conn8)
+	if n < 2 {
+		t.Fatalf("misc scene has %d components; expected several", n)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"checkerboard cell 0":   func() { dataset.Checkerboard(4, 4, 0) },
+		"stripes thickness 0":   func() { dataset.Stripes(4, 4, 0, 1, false) },
+		"blobs rMin 0":          func() { dataset.Blobs(4, 4, 1, 0, 2, 1) },
+		"blobs rMax < rMin":     func() { dataset.Blobs(4, 4, 1, 3, 2, 1) },
+		"spiral gap 0":          func() { dataset.Serpentine(4, 4, 1, 0) },
+		"rings thickness 0":     func() { dataset.ConcentricRings(4, 4, 0, 1) },
+		"landcover small scale": func() { dataset.LandCover(4, 4, 1, 0.5, 1) },
+		"text scale 0":          func() { dataset.Text(4, 4, "A", 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllGeneratorsProduceValidBinaryImages(t *testing.T) {
+	images := []interface {
+		Validate() error
+	}{
+		dataset.UniformNoise(33, 17, 0.3, 1),
+		dataset.Checkerboard(33, 17, 2),
+		dataset.Stripes(33, 17, 1, 2, true),
+		dataset.Blobs(33, 17, 5, 1, 3, 1),
+		dataset.Serpentine(33, 17, 1, 2),
+		dataset.ConcentricRings(33, 17, 1, 2),
+		dataset.LandCover(33, 17, 8, 0.5, 1),
+		dataset.Aerial(64, 64, 1),
+		dataset.Texture(33, 17, 1),
+		dataset.Text(33, 17, "GO", 1, 1),
+		dataset.Misc(33, 17, 1),
+	}
+	for i, im := range images {
+		if err := im.Validate(); err != nil {
+			t.Errorf("generator %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package equiv implements the label-equivalence data structure of
+// He-Chao-Suzuki (IEEE TIP 2008), used by the RUN and ARUN baseline
+// algorithms: three linear arrays instead of a parent-pointer union-find.
+//
+//   - rtable[l]: the representative (smallest) label of the set containing l,
+//     maintained eagerly — resolving is O(1) lookups during the scan.
+//   - next[l]: the next label in l's set, or -1 at the end.
+//   - tail[r]: the last label of the set whose representative is r.
+//
+// A Resolve(u, v) that actually merges walks the larger-representative set's
+// linked list, relabeling each member's rtable entry, then splices that list
+// onto the smaller set's tail. Cost is linear in the merged-away set, which
+// is why union-find (REMSP) beats it on merge-heavy inputs — exactly the
+// effect Table II measures.
+package equiv
+
+import "repro/internal/binimg"
+
+// Label aliases the repository-wide label type.
+type Label = binimg.Label
+
+// Table is the three-array equivalence structure. Label 0 is reserved for
+// background and never enters any set.
+type Table struct {
+	rtable []Label
+	next   []Label
+	tail   []Label
+}
+
+// New returns a table with capacity preallocated for n labels.
+func New(n int) *Table {
+	t := &Table{
+		rtable: make([]Label, 1, n+1),
+		next:   make([]Label, 1, n+1),
+		tail:   make([]Label, 1, n+1),
+	}
+	// Slot 0: background. rtable[0]=0 so background lookups stay 0.
+	return t
+}
+
+// NewLabel creates the next provisional label as a fresh singleton set and
+// returns it. Labels are handed out consecutively starting at 1.
+func (t *Table) NewLabel() Label {
+	l := Label(len(t.rtable))
+	t.rtable = append(t.rtable, l)
+	t.next = append(t.next, -1)
+	t.tail = append(t.tail, l)
+	return l
+}
+
+// Count returns the number of provisional labels created so far.
+func (t *Table) Count() Label { return Label(len(t.rtable) - 1) }
+
+// Rep returns the current representative of l's set in O(1).
+func (t *Table) Rep(l Label) Label { return t.rtable[l] }
+
+// Resolve records that u and v are equivalent, merging their sets so the
+// smaller representative survives. Returns the surviving representative.
+func (t *Table) Resolve(u, v Label) Label {
+	ru, rv := t.rtable[u], t.rtable[v]
+	if ru == rv {
+		return ru
+	}
+	if ru > rv {
+		ru, rv = rv, ru
+	}
+	// Relabel every member of rv's set, then splice its list after ru's tail.
+	for i := rv; i != -1; i = t.next[i] {
+		t.rtable[i] = ru
+	}
+	t.next[t.tail[ru]] = rv
+	t.tail[ru] = t.tail[rv]
+	return ru
+}
+
+// Flatten assigns consecutive final labels 1..n to the representatives and
+// rewrites rtable so rtable[l] is l's final label. Mirrors the paper's
+// FLATTEN postconditions so RUN/ARUN and the REMSP-based algorithms produce
+// directly comparable label maps. Returns n.
+func (t *Table) Flatten() Label {
+	count := t.Count()
+	final := make([]Label, count+1)
+	var k Label = 1
+	for l := Label(1); l <= count; l++ {
+		r := t.rtable[l]
+		if r == l {
+			final[l] = k
+			k++
+		}
+	}
+	for l := Label(1); l <= count; l++ {
+		t.rtable[l] = final[t.rtable[l]]
+	}
+	return k - 1
+}
+
+// SetMembers returns the members of l's set in list order (for tests).
+func (t *Table) SetMembers(l Label) []Label {
+	var out []Label
+	for i := t.rtable[l]; i != -1; i = t.next[i] {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+// Package grayccl implements the grayscale extension the paper claims for
+// its algorithms ("our algorithm can be easily extended to gray scale
+// images"): connected component labeling over gray-level rasters, where two
+// adjacent pixels (8-connectivity) belong to the same component iff they
+// hold the same gray value. Every pixel is labeled — there is no background.
+//
+// The implementation is the paper's machinery with the foreground test
+// generalized to value equality: the two-rows-at-a-time scan (Alg. 6) plus
+// REM's union-find with splicing, and the chunked parallel version with
+// concurrent boundary merging (Alg. 7/8). Equality is transitive, which is
+// what lets the pair-scan's case analysis skip neighbors the way the binary
+// algorithm does; the tolerance-based variant (LabelDelta) loses
+// transitivity and therefore uses the exhaustive-neighbor scan.
+package grayccl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/binimg"
+	"repro/internal/unionfind"
+)
+
+// Image is a grayscale raster: one byte per pixel, row-major.
+type Image struct {
+	Width  int
+	Height int
+	Pix    []uint8
+}
+
+// New returns a zeroed grayscale image.
+func New(width, height int) *Image {
+	if width < 0 || height < 0 {
+		panic(fmt.Sprintf("grayccl: negative dimensions %dx%d", width, height))
+	}
+	return &Image{Width: width, Height: height, Pix: make([]uint8, width*height)}
+}
+
+// At returns the pixel at (x, y); it panics out of range.
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 || x >= im.Width || y < 0 || y >= im.Height {
+		panic(fmt.Sprintf("grayccl: At(%d,%d) out of range %dx%d", x, y, im.Width, im.Height))
+	}
+	return im.Pix[y*im.Width+x]
+}
+
+// Set writes the pixel at (x, y); it panics out of range.
+func (im *Image) Set(x, y int, v uint8) {
+	if x < 0 || x >= im.Width || y < 0 || y >= im.Height {
+		panic(fmt.Sprintf("grayccl: Set(%d,%d) out of range %dx%d", x, y, im.Width, im.Height))
+	}
+	im.Pix[y*im.Width+x] = v
+}
+
+// Label computes the gray-level connected components of img sequentially
+// (pair-row scan + REMSP). Labels are consecutive 1..n; returns the label
+// map and n.
+func Label(img *Image) (*binimg.LabelMap, int) {
+	w, h := img.Width, img.Height
+	lm := binimg.NewLabelMap(w, h)
+	if w == 0 || h == 0 {
+		return lm, 0
+	}
+	p := make([]binimg.Label, w*h+1)
+	count := grayPairRows(img, lm, p, 0, 0, h)
+	n := unionfind.Flatten(p, count)
+	for i, v := range lm.L {
+		lm.L[i] = p[v]
+	}
+	return lm, int(n)
+}
+
+// PLabel is the parallel version of Label: row-pair chunks scanned
+// concurrently with disjoint label ranges, boundary rows merged with the
+// concurrent lock-based REM union, sparse flatten, parallel relabel.
+func PLabel(img *Image, threads int) (*binimg.LabelMap, int) {
+	w, h := img.Width, img.Height
+	lm := binimg.NewLabelMap(w, h)
+	if w == 0 || h == 0 {
+		return lm, 0
+	}
+	numPairs := (h + 1) / 2
+	if threads <= 0 || threads > numPairs {
+		threads = numPairs
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	// Gray labels have no independent-set bound: every pixel may be a
+	// component, so each row pair budgets 2*w labels.
+	stride := binimg.Label(2 * w)
+	maxLabel := binimg.Label(numPairs) * stride
+	p := make([]binimg.Label, maxLabel+1)
+
+	starts := make([]int, threads+1)
+	base, rem := numPairs/threads, numPairs%threads
+	pair := 0
+	for c := 0; c < threads; c++ {
+		starts[c] = pair * 2
+		pair += base
+		if c < rem {
+			pair++
+		}
+	}
+	starts[threads] = h
+
+	var wg sync.WaitGroup
+	for c := 0; c < threads; c++ {
+		rowStart, rowEnd := starts[c], starts[c+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			offset := binimg.Label(rowStart/2) * stride
+			grayPairRows(img, lm, p, offset, rowStart, rowEnd)
+		}()
+	}
+	wg.Wait()
+
+	lt := unionfind.NewLockTable(0)
+	for _, row := range starts[1:threads] {
+		row := row
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mergeGrayBoundary(img, lm, p, lt, row)
+		}()
+	}
+	wg.Wait()
+
+	n := unionfind.FlattenSparse(p, maxLabel)
+	for i, v := range lm.L {
+		lm.L[i] = p[v]
+	}
+	return lm, int(n)
+}
+
+// grayPairRows is the pair-row scan of Alg. 6 with the foreground predicate
+// generalized to gray-value equality. It labels rows [rowStart, rowEnd),
+// drawing labels from offset+1 upward, and returns the last label used.
+func grayPairRows(img *Image, lm *binimg.LabelMap, p []binimg.Label, offset binimg.Label, rowStart, rowEnd int) binimg.Label {
+	w := img.Width
+	pix := img.Pix
+	lab := lm.L
+	count := offset
+	newLabel := func() binimg.Label {
+		count++
+		p[count] = count
+		return count
+	}
+	for r := rowStart; r < rowEnd; r += 2 {
+		row := r * w
+		up := row - w
+		down := row + w
+		hasUp := r > rowStart
+		hasG := r+1 < rowEnd
+		for x := 0; x < w; x++ {
+			e := pix[row+x]
+			// Neighbor "present" now means "equal gray value".
+			var a, b, c, d bool
+			if hasUp {
+				b = pix[up+x] == e
+				if x > 0 {
+					a = pix[up+x-1] == e
+				}
+				if x+1 < w {
+					c = pix[up+x+1] == e
+				}
+			}
+			var f bool
+			if x > 0 {
+				d = pix[row+x-1] == e
+				if hasG {
+					f = pix[down+x-1] == e
+				}
+			}
+			var le binimg.Label
+			if !d {
+				switch {
+				case b:
+					le = lab[up+x]
+					if f {
+						le = unionfind.MergeRemSP(p, le, lab[down+x-1])
+					}
+				case f:
+					le = lab[down+x-1]
+					if a {
+						le = unionfind.MergeRemSP(p, le, lab[up+x-1])
+					}
+					if c {
+						le = unionfind.MergeRemSP(p, le, lab[up+x+1])
+					}
+				case a:
+					le = lab[up+x-1]
+					if c {
+						le = unionfind.MergeRemSP(p, le, lab[up+x+1])
+					}
+				case c:
+					le = lab[up+x+1]
+				default:
+					le = newLabel()
+				}
+			} else {
+				le = lab[row+x-1]
+				if !b && c {
+					le = unionfind.MergeRemSP(p, le, lab[up+x+1])
+				}
+			}
+			lab[row+x] = le
+
+			if hasG {
+				g := pix[down+x]
+				if g == e {
+					lab[down+x] = le
+					continue
+				}
+				// g differs from e: its visited same-value neighbors are d
+				// and f only.
+				var lg binimg.Label
+				dg := x > 0 && pix[row+x-1] == g
+				fg := x > 0 && pix[down+x-1] == g
+				switch {
+				case dg && fg:
+					lg = unionfind.MergeRemSP(p, lab[row+x-1], lab[down+x-1])
+				case dg:
+					lg = lab[row+x-1]
+				case fg:
+					lg = lab[down+x-1]
+				default:
+					lg = newLabel()
+				}
+				lab[down+x] = lg
+			}
+		}
+	}
+	return count
+}
+
+// mergeGrayBoundary unites each pixel of a chunk-start row with its
+// equal-valued neighbors in the row above.
+func mergeGrayBoundary(img *Image, lm *binimg.LabelMap, p []binimg.Label, lt *unionfind.LockTable, row int) {
+	w := img.Width
+	pix := img.Pix
+	lab := lm.L
+	base := row * w
+	up := base - w
+	for x := 0; x < w; x++ {
+		e := pix[base+x]
+		if pix[up+x] == e {
+			unionfind.MergeLocked(p, lt, lab[base+x], lab[up+x])
+			continue
+		}
+		if x > 0 && pix[up+x-1] == e {
+			unionfind.MergeLocked(p, lt, lab[base+x], lab[up+x-1])
+		}
+		if x+1 < w && pix[up+x+1] == e {
+			unionfind.MergeLocked(p, lt, lab[base+x], lab[up+x+1])
+		}
+	}
+}
+
+// LabelDelta labels components under the tolerance predicate
+// |v(p) - v(q)| <= delta for adjacent pixels (8-connectivity), taking the
+// transitive closure: a gradual ramp is one component even though its ends
+// differ by more than delta. Tolerance is not transitive, so the exhaustive
+// Rosenfeld scan is used (every visited neighbor examined and merged).
+func LabelDelta(img *Image, delta uint8) (*binimg.LabelMap, int) {
+	w, h := img.Width, img.Height
+	lm := binimg.NewLabelMap(w, h)
+	if w == 0 || h == 0 {
+		return lm, 0
+	}
+	p := make([]binimg.Label, w*h+1)
+	pix := img.Pix
+	lab := lm.L
+	var count binimg.Label
+	near := func(a, b uint8) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return b-a <= delta
+	}
+	for y := 0; y < h; y++ {
+		row := y * w
+		up := row - w
+		for x := 0; x < w; x++ {
+			e := pix[row+x]
+			var le binimg.Label
+			take := func(idx int) {
+				if !near(pix[idx], e) {
+					return
+				}
+				if le == 0 {
+					le = lab[idx]
+				} else if lab[idx] != le {
+					le = unionfind.MergeRemSP(p, le, lab[idx])
+				}
+			}
+			if x > 0 {
+				take(row + x - 1)
+			}
+			if y > 0 {
+				if x > 0 {
+					take(up + x - 1)
+				}
+				take(up + x)
+				if x+1 < w {
+					take(up + x + 1)
+				}
+			}
+			if le == 0 {
+				count++
+				p[count] = count
+				le = count
+			}
+			lab[row+x] = le
+		}
+	}
+	n := unionfind.Flatten(p, count)
+	for i, v := range lab {
+		lab[i] = p[v]
+	}
+	return lm, int(n)
+}
+
+// FloodFill is the gray-level reference labeler (exact equality,
+// 8-connectivity), used to verify Label and PLabel.
+func FloodFill(img *Image) (*binimg.LabelMap, int) {
+	w, h := img.Width, img.Height
+	lm := binimg.NewLabelMap(w, h)
+	lab := lm.L
+	pix := img.Pix
+	var next binimg.Label
+	stack := make([]int32, 0, 1024)
+	for s := range pix {
+		if lab[s] != 0 {
+			continue
+		}
+		next++
+		lab[s] = next
+		v := pix[s]
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			i := int(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			x, y := i%w, i/w
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= w || ny < 0 || ny >= h {
+						continue
+					}
+					j := ny*w + nx
+					if pix[j] == v && lab[j] == 0 {
+						lab[j] = next
+						stack = append(stack, int32(j))
+					}
+				}
+			}
+		}
+	}
+	return lm, int(next)
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders multi-series line data as an ASCII plot, so the experiment
+// binaries can draw Figures 4 and 5 the way the paper presents them (speedup
+// on the y axis, thread count on the x axis, one glyph per series) without
+// any plotting dependency.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []float64
+	series []chartSeries
+	Height int // plot rows; 0 selects 16
+	Width  int // plot columns; 0 selects 60
+}
+
+type chartSeries struct {
+	name   string
+	glyph  byte
+	points []float64 // y value per XTicks entry; NaN = missing
+}
+
+// seriesGlyphs are assigned to series in order.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewChart creates a chart over the given x tick positions.
+func NewChart(title, xLabel, yLabel string, xTicks []float64) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel, XTicks: xTicks}
+}
+
+// AddSeries appends a named series; points must align with XTicks (use NaN
+// for missing values).
+func (c *Chart) AddSeries(name string, points []float64) {
+	glyph := seriesGlyphs[len(c.series)%len(seriesGlyphs)]
+	c.series = append(c.series, chartSeries{name: name, glyph: glyph, points: points})
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	if len(c.XTicks) == 0 || len(c.series) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return
+	}
+
+	// Y range across all series (always include 0).
+	yMin, yMax := 0.0, 0.0
+	for _, s := range c.series {
+		for _, v := range s.points {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v > yMax {
+				yMax = v
+			}
+			if v < yMin {
+				yMin = v
+			}
+		}
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	xMin, xMax := c.XTicks[0], c.XTicks[len(c.XTicks)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	col := func(x float64) int {
+		return int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+	}
+	rowOf := func(y float64) int {
+		return int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i, v := range s.points {
+			if math.IsNaN(v) || i >= len(c.XTicks) {
+				continue
+			}
+			r, cx := rowOf(v), col(c.XTicks[i])
+			if r >= 0 && r < height && cx >= 0 && cx < width {
+				grid[r][cx] = s.glyph
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yTop := fmt.Sprintf("%.1f", yMax)
+	yBot := fmt.Sprintf("%.1f", yMin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		case (height - 1) / 2:
+			mid := fmt.Sprintf("%.1f", (yMax+yMin)/2)
+			label = fmt.Sprintf("%*s", margin, mid)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, strings.TrimRight(string(grid[r]), " "))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+
+	// X tick labels (the row may extend slightly past the plot so the last
+	// tick is not clipped).
+	ticks := []byte(strings.Repeat(" ", width+4))
+	for _, x := range c.XTicks {
+		lbl := strconv(x)
+		pos := col(x)
+		for i := 0; i < len(lbl); i++ {
+			p := pos + i
+			if p >= 0 && p < len(ticks) {
+				ticks[p] = lbl[i]
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s  %s  (%s)\n", strings.Repeat(" ", margin), strings.TrimRight(string(ticks), " "), c.XLabel)
+
+	// Legend.
+	parts := make([]string, len(c.series))
+	for i, s := range c.series {
+		parts[i] = fmt.Sprintf("%c %s", s.glyph, s.name)
+	}
+	fmt.Fprintf(w, "%s  legend: %s; y = %s\n", strings.Repeat(" ", margin), strings.Join(parts, ", "), c.YLabel)
+}
+
+// strconv formats a tick without trailing zeros.
+func strconv(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int(x))
+	}
+	return fmt.Sprintf("%.1f", x)
+}

@@ -1,0 +1,81 @@
+package harness_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := harness.NewChart("Speedup", "threads", "speedup", []float64{1, 2, 4, 8})
+	c.AddSeries("image_1", []float64{1, 1.9, 3.6, 6.8})
+	c.AddSeries("image_2", []float64{1, 1.7, 3.1, 5.2})
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Speedup", "legend:", "* image_1", "o image_2", "(threads)", "6.8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The top row must carry the max value label.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "6.8") {
+		t.Fatalf("top y label wrong: %q", lines[1])
+	}
+}
+
+func TestChartHandlesNaN(t *testing.T) {
+	c := harness.NewChart("t", "x", "y", []float64{1, 2, 3})
+	c.AddSeries("s", []float64{1, math.NaN(), 3})
+	var sb strings.Builder
+	c.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "legend") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := harness.NewChart("empty", "x", "y", nil)
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("empty chart output: %q", sb.String())
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := harness.NewChart("c", "x", "y", []float64{1, 2})
+	c.AddSeries("flat", []float64{0, 0})
+	var sb strings.Builder
+	c.Render(&sb) // zero range must not divide by zero
+	if sb.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartGlyphPlacementMonotone(t *testing.T) {
+	// An increasing series must place later points on higher rows (smaller
+	// row index).
+	c := harness.NewChart("", "x", "y", []float64{1, 2, 3, 4})
+	c.AddSeries("up", []float64{1, 2, 3, 4})
+	c.Height = 8
+	c.Width = 40
+	var sb strings.Builder
+	c.Render(&sb)
+	lines := strings.Split(sb.String(), "\n")
+	firstStar, lastStar := -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "*") {
+			if firstStar == -1 {
+				firstStar = i
+			}
+			lastStar = i
+		}
+	}
+	if firstStar == -1 || firstStar == lastStar {
+		t.Fatalf("stars not spread over rows:\n%s", sb.String())
+	}
+}

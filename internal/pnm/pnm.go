@@ -1,0 +1,275 @@
+// Package pnm reads and writes the Netpbm formats the experiment pipeline
+// uses for image exchange: PBM bitmaps (P1 plain / P4 raw) map directly onto
+// binary images, PGM graymaps (P2 plain / P5 raw) are binarized with the
+// im2bw(0.5) threshold the paper applies to its datasets. PNG import (via
+// the standard library) covers the common interchange case.
+//
+// Convention note: in PBM, 1 is black. Following the paper's convention that
+// object pixels are 1 and the binarized examples show dark objects on light
+// background, PBM bit 1 decodes to foreground 1.
+package pnm
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"strconv"
+
+	"repro/internal/binimg"
+)
+
+// maxDimension guards against absurd headers in untrusted files.
+const maxDimension = 1 << 20
+
+// Decode reads a PBM (P1/P4) or PGM (P2/P5) stream into a binary image.
+// Grayscale pixels are binarized with threshold level (im2bw semantics:
+// luminance fraction strictly greater than level becomes foreground).
+func Decode(r io.Reader, level float64) (*binimg.Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := readToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: reading magic: %w", err)
+	}
+	switch magic {
+	case "P1", "P4":
+		return decodePBM(br, magic == "P4")
+	case "P2", "P5":
+		return decodePGM(br, magic == "P5", level)
+	default:
+		return nil, fmt.Errorf("pnm: unsupported magic %q (want P1, P2, P4 or P5)", magic)
+	}
+}
+
+func decodePBM(br *bufio.Reader, raw bool) (*binimg.Image, error) {
+	w, h, err := readDims(br)
+	if err != nil {
+		return nil, err
+	}
+	im := binimg.New(w, h)
+	if raw {
+		// readToken consumed the single post-header whitespace byte, so the
+		// packed rows start immediately: each row padded to a whole number
+		// of bytes, MSB first.
+		stride := (w + 7) / 8
+		rowBuf := make([]byte, stride)
+		for y := 0; y < h; y++ {
+			if _, err := io.ReadFull(br, rowBuf); err != nil {
+				return nil, fmt.Errorf("pnm: P4 row %d: %w", y, err)
+			}
+			for x := 0; x < w; x++ {
+				if rowBuf[x/8]&(0x80>>(x%8)) != 0 {
+					im.Pix[y*w+x] = 1
+				}
+			}
+		}
+		return im, nil
+	}
+	for i := 0; i < w*h; i++ {
+		tok, err := readToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("pnm: P1 pixel %d: %w", i, err)
+		}
+		switch tok {
+		case "0":
+			// background
+		case "1":
+			im.Pix[i] = 1
+		default:
+			return nil, fmt.Errorf("pnm: P1 pixel %d: invalid token %q", i, tok)
+		}
+	}
+	return im, nil
+}
+
+func decodePGM(br *bufio.Reader, raw bool, level float64) (*binimg.Image, error) {
+	w, h, err := readDims(br)
+	if err != nil {
+		return nil, err
+	}
+	maxTok, err := readToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: reading maxval: %w", err)
+	}
+	maxVal, err := strconv.Atoi(maxTok)
+	if err != nil || maxVal < 1 || maxVal > 65535 {
+		return nil, fmt.Errorf("pnm: invalid maxval %q", maxTok)
+	}
+	im := binimg.New(w, h)
+	thresh := level * float64(maxVal)
+	if raw {
+		bytesPer := 1
+		if maxVal > 255 {
+			bytesPer = 2
+		}
+		buf := make([]byte, w*bytesPer)
+		for y := 0; y < h; y++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("pnm: P5 row %d: %w", y, err)
+			}
+			for x := 0; x < w; x++ {
+				var v int
+				if bytesPer == 2 {
+					v = int(buf[2*x])<<8 | int(buf[2*x+1])
+				} else {
+					v = int(buf[x])
+				}
+				if float64(v) > thresh {
+					im.Pix[y*w+x] = 1
+				}
+			}
+		}
+		return im, nil
+	}
+	for i := 0; i < w*h; i++ {
+		tok, err := readToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("pnm: P2 pixel %d: %w", i, err)
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v > maxVal {
+			return nil, fmt.Errorf("pnm: P2 pixel %d: invalid value %q", i, tok)
+		}
+		if float64(v) > thresh {
+			im.Pix[i] = 1
+		}
+	}
+	return im, nil
+}
+
+// readDims reads and validates the width and height tokens.
+func readDims(br *bufio.Reader) (int, int, error) {
+	wTok, err := readToken(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pnm: reading width: %w", err)
+	}
+	hTok, err := readToken(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pnm: reading height: %w", err)
+	}
+	w, err := strconv.Atoi(wTok)
+	if err != nil || w < 0 || w > maxDimension {
+		return 0, 0, fmt.Errorf("pnm: invalid width %q", wTok)
+	}
+	h, err := strconv.Atoi(hTok)
+	if err != nil || h < 0 || h > maxDimension {
+		return 0, 0, fmt.Errorf("pnm: invalid height %q", hTok)
+	}
+	return w, h, nil
+}
+
+// readToken returns the next whitespace-delimited token, skipping '#'
+// comments (which run to end of line), per the Netpbm grammar.
+func readToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// EncodePBM writes im as a PBM bitmap: raw packed P4 when raw is true,
+// plain-text P1 otherwise.
+func EncodePBM(w io.Writer, im *binimg.Image, raw bool) error {
+	bw := bufio.NewWriter(w)
+	if raw {
+		fmt.Fprintf(bw, "P4\n%d %d\n", im.Width, im.Height)
+		stride := (im.Width + 7) / 8
+		rowBuf := make([]byte, stride)
+		for y := 0; y < im.Height; y++ {
+			for i := range rowBuf {
+				rowBuf[i] = 0
+			}
+			for x := 0; x < im.Width; x++ {
+				if im.Pix[y*im.Width+x] != 0 {
+					rowBuf[x/8] |= 0x80 >> (x % 8)
+				}
+			}
+			if _, err := bw.Write(rowBuf); err != nil {
+				return fmt.Errorf("pnm: writing P4 row %d: %w", y, err)
+			}
+		}
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "P1\n%d %d\n", im.Width, im.Height)
+	for y := 0; y < im.Height; y++ {
+		for x := 0; x < im.Width; x++ {
+			if x > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteByte('0' + im.Pix[y*im.Width+x])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// EncodePGM writes a label map as a raw P5 graymap for quick visual
+// inspection: background is 0 and labels cycle through 64..255, so adjacent
+// components are usually distinguishable.
+func EncodePGM(w io.Writer, lm *binimg.LabelMap) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", lm.Width, lm.Height)
+	for _, v := range lm.L {
+		if v == 0 {
+			bw.WriteByte(0)
+		} else {
+			bw.WriteByte(byte(64 + (v-1)%192))
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePNG reads a PNG stream and binarizes it with the im2bw(level)
+// semantics the paper uses: the pixel's luminance (Rec. 601, as computed by
+// the standard library's grayscale conversion) strictly greater than
+// level*65535 becomes foreground.
+func DecodePNG(r io.Reader, level float64) (*binimg.Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: decoding png: %w", err)
+	}
+	b := src.Bounds()
+	im := binimg.New(b.Dx(), b.Dy())
+	thresh := level * 65535
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			g := color.Gray16Model.Convert(src.At(x, y)).(color.Gray16)
+			if float64(g.Y) > thresh {
+				im.Pix[(y-b.Min.Y)*im.Width+(x-b.Min.X)] = 1
+			}
+		}
+	}
+	return im, nil
+}
+
+// EncodePNG writes a label map as a grayscale PNG (same palette rule as
+// EncodePGM).
+func EncodePNG(w io.Writer, lm *binimg.LabelMap) error {
+	img := image.NewGray(image.Rect(0, 0, lm.Width, lm.Height))
+	for i, v := range lm.L {
+		if v != 0 {
+			img.Pix[i] = byte(64 + (v-1)%192)
+		}
+	}
+	return png.Encode(w, img)
+}

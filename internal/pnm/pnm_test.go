@@ -1,0 +1,213 @@
+package pnm_test
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/png"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/binimg"
+	"repro/internal/dataset"
+	"repro/internal/pnm"
+)
+
+func TestDecodeP1(t *testing.T) {
+	src := "P1\n# a comment\n3 2\n1 0 1\n0 1 0\n"
+	im, err := pnm.Decode(strings.NewReader(src), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := binimg.MustParse("#.#\n.#.")
+	if !im.Equal(want) {
+		t.Fatalf("decoded:\n%s\nwant:\n%s", im, want)
+	}
+}
+
+func TestDecodeP1CompactDigits(t *testing.T) {
+	// P1 allows unseparated digits? The strict grammar requires whitespace;
+	// our reader requires separated tokens and must reject glued digits.
+	src := "P1\n2 1\n10\n"
+	if _, err := pnm.Decode(strings.NewReader(src), 0.5); err == nil {
+		t.Fatal("glued P1 digits accepted")
+	}
+}
+
+func TestDecodeP2Threshold(t *testing.T) {
+	// maxval 255, level 0.5 -> threshold 127.5: 127 bg, 128 fg.
+	src := "P2\n4 1\n255\n0 127 128 255\n"
+	im, err := pnm.Decode(strings.NewReader(src), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 0, 1, 1}
+	for i, wv := range want {
+		if im.Pix[i] != wv {
+			t.Fatalf("pixel %d = %d, want %d", i, im.Pix[i], wv)
+		}
+	}
+}
+
+func TestDecodeP5SixteenBit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("P5\n2 1\n65535\n")
+	buf.Write([]byte{0x00, 0x00, 0xFF, 0xFF}) // 0 and 65535
+	im, err := pnm.Decode(&buf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Pix[0] != 0 || im.Pix[1] != 1 {
+		t.Fatalf("16-bit decode wrong: %v", im.Pix)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":       "P7\n1 1\n0\n",
+		"missing dims":    "P1\n3\n",
+		"negative width":  "P1\n-1 2\n",
+		"huge width":      "P1\n99999999 2\n",
+		"bad pixel":       "P1\n1 1\n7\n",
+		"bad maxval":      "P2\n1 1\n0\n5\n",
+		"truncated P4":    "P4\n16 2\n\x00",
+		"truncated P5":    "P5\n4 4\n255\nxy",
+		"pgm value range": "P2\n1 1\n255\n300\n",
+	}
+	for name, src := range cases {
+		if _, err := pnm.Decode(strings.NewReader(src), 0.5); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPBMRoundTripBothForms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(40), 1+rng.Intn(40)
+		im := binimg.New(w, h)
+		for i := range im.Pix {
+			im.Pix[i] = uint8(rng.Intn(2))
+		}
+		for _, raw := range []bool{false, true} {
+			var buf bytes.Buffer
+			if err := pnm.EncodePBM(&buf, im, raw); err != nil {
+				return false
+			}
+			back, err := pnm.Decode(&buf, 0.5)
+			if err != nil || !back.Equal(im) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP4PacksRowPadding(t *testing.T) {
+	// Width 9 needs 2 bytes per row; padding bits must be ignored.
+	im := binimg.New(9, 2)
+	im.Set(8, 0, 1)
+	im.Set(0, 1, 1)
+	var buf bytes.Buffer
+	if err := pnm.EncodePBM(&buf, im, true); err != nil {
+		t.Fatal(err)
+	}
+	// Header "P4\n9 2\n" + 4 data bytes.
+	wantLen := len("P4\n9 2\n") + 4
+	if buf.Len() != wantLen {
+		t.Fatalf("P4 size = %d, want %d", buf.Len(), wantLen)
+	}
+	back, err := pnm.Decode(&buf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(im) {
+		t.Fatalf("round trip:\n%s\nwant:\n%s", back, im)
+	}
+}
+
+func TestEncodePGMLabelPalette(t *testing.T) {
+	lm := binimg.NewLabelMap(3, 1)
+	lm.Set(1, 0, 1)
+	lm.Set(2, 0, 500)
+	var buf bytes.Buffer
+	if err := pnm.EncodePGM(&buf, lm); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	pixels := data[len(data)-3:]
+	if pixels[0] != 0 {
+		t.Fatal("background must encode to 0")
+	}
+	if pixels[1] < 64 || pixels[2] < 64 {
+		t.Fatal("labels must encode to >= 64")
+	}
+}
+
+func TestDecodePNG(t *testing.T) {
+	src := image.NewGray(image.Rect(0, 0, 3, 1))
+	src.SetGray(0, 0, color.Gray{Y: 0})
+	src.SetGray(1, 0, color.Gray{Y: 100})
+	src.SetGray(2, 0, color.Gray{Y: 200})
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	im, err := pnm.DecodePNG(&buf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Pix[0] != 0 || im.Pix[1] != 0 || im.Pix[2] != 1 {
+		t.Fatalf("png binarization wrong: %v", im.Pix)
+	}
+}
+
+func TestDecodePNGColorUsesLuminance(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 2, 1))
+	src.Set(0, 0, color.RGBA{R: 255, A: 255})                 // dark-ish red
+	src.Set(1, 0, color.RGBA{R: 255, G: 255, B: 255, A: 255}) // white
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	im, err := pnm.DecodePNG(&buf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rec. 601 luma of pure red is ~0.30 -> background at level 0.5.
+	if im.Pix[0] != 0 || im.Pix[1] != 1 {
+		t.Fatalf("luminance binarization wrong: %v", im.Pix)
+	}
+}
+
+func TestEncodePNGRoundTripMask(t *testing.T) {
+	img := dataset.Blobs(32, 24, 5, 2, 4, 7)
+	lm := binimg.NewLabelMap(32, 24)
+	for i, v := range img.Pix {
+		if v != 0 {
+			lm.L[i] = 1
+		}
+	}
+	var buf bytes.Buffer
+	if err := pnm.EncodePNG(&buf, lm); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pnm.DecodePNG(&buf, 0.1) // any label byte (>=64) exceeds 0.1*65535
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(img) {
+		t.Fatal("png label mask round trip failed")
+	}
+}
+
+func TestDecodeBadPNG(t *testing.T) {
+	if _, err := pnm.DecodePNG(strings.NewReader("not a png"), 0.5); err == nil {
+		t.Fatal("garbage accepted as png")
+	}
+}

@@ -1,0 +1,75 @@
+package stats_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/binimg"
+	"repro/internal/stats"
+)
+
+func TestRelabelByAreaOrdering(t *testing.T) {
+	img := binimg.MustParse(`
+		#....###
+		.....###
+		##......`)
+	lm, n := baseline.FloodFill(img, baseline.Conn8) // raster order: 1px, 6px, 2px
+	stats.RelabelByArea(lm, n)
+	comps := stats.Components(lm)
+	if comps[0].Area != 6 || comps[1].Area != 2 || comps[2].Area != 1 {
+		t.Fatalf("areas after relabel: %d %d %d, want 6 2 1",
+			comps[0].Area, comps[1].Area, comps[2].Area)
+	}
+}
+
+func TestRelabelByAreaTieStability(t *testing.T) {
+	img := binimg.MustParse("#.#")
+	lm, n := baseline.FloodFill(img, baseline.Conn8)
+	stats.RelabelByArea(lm, n)
+	// Equal areas: raster order preserved.
+	if lm.At(0, 0) != 1 || lm.At(2, 0) != 2 {
+		t.Fatalf("tie order changed: %s", lm)
+	}
+}
+
+func TestRelabelByAreaEmpty(t *testing.T) {
+	lm := binimg.NewLabelMap(4, 4)
+	stats.RelabelByArea(lm, 0) // must not panic
+	if lm.Max() != 0 {
+		t.Fatal("empty map disturbed")
+	}
+}
+
+// Property: RelabelByArea preserves the partition and produces non-increasing
+// areas over labels 1..n.
+func TestPropertyRelabelByArea(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(30), 1+rng.Intn(30)
+		img := binimg.New(w, h)
+		for i := range img.Pix {
+			img.Pix[i] = uint8(rng.Intn(2))
+		}
+		lm, n := baseline.FloodFill(img, baseline.Conn8)
+		orig := lm.Clone()
+		stats.RelabelByArea(lm, n)
+		if stats.Equivalent(orig, lm) != nil {
+			return false
+		}
+		if err := stats.Validate(img, lm, n, true); err != nil {
+			return false
+		}
+		comps := stats.Components(lm)
+		for i := 1; i < len(comps); i++ {
+			if comps[i].Area > comps[i-1].Area {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package unionfind
+
+import "fmt"
+
+// DSU is the object-style disjoint-set API used by the general-purpose
+// wrappers and the union-find ablation benchmarks. The CCL scan loops do not
+// go through this interface; they call the free functions directly.
+type DSU interface {
+	// MakeSet appends a new singleton set and returns its element index.
+	MakeSet() Label
+	// Find returns the representative of x's set (may compress paths).
+	Find(x Label) Label
+	// Union unites the sets of x and y and returns the resulting root.
+	Union(x, y Label) Label
+	// Len returns the number of elements ever created.
+	Len() int
+	// Name identifies the variant in benchmark output.
+	Name() string
+}
+
+// Variant names accepted by New.
+const (
+	VariantRemSP     = "remsp"     // REM's algorithm with splicing (the paper's choice)
+	VariantRemPH     = "remph"     // REM's linking with path halving on find
+	VariantRankPC    = "rankpc"    // link-by-rank + full path compression (CCLLRPC's choice)
+	VariantRankPS    = "rankps"    // link-by-rank + path splitting
+	VariantRankPH    = "rankph"    // link-by-rank + path halving
+	VariantRankNC    = "ranknc"    // link-by-rank, no compression
+	VariantSizePC    = "sizepc"    // link-by-size + full path compression
+	VariantIndexPC   = "indexpc"   // link-by-index (smaller index wins) + path compression
+	VariantQuickFind = "quickfind" // O(n) union oracle used for cross-checking
+)
+
+// AllVariants lists every DSU variant, in the order the ablation tables use.
+func AllVariants() []string {
+	return []string{
+		VariantRemSP, VariantRemPH, VariantRankPC, VariantRankPS,
+		VariantRankPH, VariantRankNC, VariantSizePC, VariantIndexPC,
+		VariantQuickFind,
+	}
+}
+
+// New constructs a DSU of the named variant with capacity preallocated for n
+// elements (elements are still created one at a time with MakeSet).
+func New(variant string, n int) (DSU, error) {
+	switch variant {
+	case VariantRemSP:
+		return &RemDSU{p: make([]Label, 0, n), splice: true}, nil
+	case VariantRemPH:
+		return &RemDSU{p: make([]Label, 0, n), splice: false}, nil
+	case VariantRankPC:
+		return newRankDSU(n, findKindCompress, linkKindRank), nil
+	case VariantRankPS:
+		return newRankDSU(n, findKindSplit, linkKindRank), nil
+	case VariantRankPH:
+		return newRankDSU(n, findKindHalve, linkKindRank), nil
+	case VariantRankNC:
+		return newRankDSU(n, findKindNaive, linkKindRank), nil
+	case VariantSizePC:
+		return newRankDSU(n, findKindCompress, linkKindSize), nil
+	case VariantIndexPC:
+		return newRankDSU(n, findKindCompress, linkKindIndex), nil
+	case VariantQuickFind:
+		return &QuickFindDSU{id: make([]Label, 0, n)}, nil
+	default:
+		return nil, fmt.Errorf("unionfind: unknown variant %q", variant)
+	}
+}
+
+// MustNew is New but panics on error.
+func MustNew(variant string, n int) DSU {
+	d, err := New(variant, n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// RemDSU wraps the REM parent array in the DSU interface. With splice=true,
+// Union is MergeRemSP (the paper's REMSP); with splice=false, linking is by
+// index and Find uses path halving.
+type RemDSU struct {
+	p      []Label
+	splice bool
+}
+
+// MakeSet appends a singleton.
+func (d *RemDSU) MakeSet() Label {
+	x := Label(len(d.p))
+	d.p = append(d.p, x)
+	return x
+}
+
+// Find returns the representative (the minimum element of the set, by the
+// REM invariant).
+func (d *RemDSU) Find(x Label) Label {
+	if d.splice {
+		return FindRoot(d.p, x)
+	}
+	return FindHalve(d.p, x)
+}
+
+// Union merges the two sets.
+func (d *RemDSU) Union(x, y Label) Label {
+	if d.splice {
+		return MergeRemSP(d.p, x, y)
+	}
+	rx, ry := FindHalve(d.p, x), FindHalve(d.p, y)
+	if rx == ry {
+		return rx
+	}
+	if rx < ry {
+		d.p[ry] = rx
+		return rx
+	}
+	d.p[rx] = ry
+	return ry
+}
+
+// Len returns the element count.
+func (d *RemDSU) Len() int { return len(d.p) }
+
+// Name identifies the variant.
+func (d *RemDSU) Name() string {
+	if d.splice {
+		return VariantRemSP
+	}
+	return VariantRemPH
+}
+
+// Parents exposes the raw parent array (for white-box tests).
+func (d *RemDSU) Parents() []Label { return d.p }
+
+type findKind uint8
+type linkKind uint8
+
+const (
+	findKindCompress findKind = iota
+	findKindSplit
+	findKindHalve
+	findKindNaive
+)
+
+const (
+	linkKindRank linkKind = iota
+	linkKindSize
+	linkKindIndex
+)
+
+// rankDSU implements the classical array-based union-find family:
+// link-by-rank / link-by-size / link-by-index crossed with path compression /
+// splitting / halving / none. CCLLRPC uses link-by-rank + path compression.
+type rankDSU struct {
+	p    []Label
+	aux  []int32 // rank (linkKindRank) or size (linkKindSize); unused for index
+	find findKind
+	link linkKind
+}
+
+func newRankDSU(n int, f findKind, l linkKind) *rankDSU {
+	return &rankDSU{p: make([]Label, 0, n), aux: make([]int32, 0, n), find: f, link: l}
+}
+
+func (d *rankDSU) MakeSet() Label {
+	x := Label(len(d.p))
+	d.p = append(d.p, x)
+	if d.link == linkKindSize {
+		d.aux = append(d.aux, 1)
+	} else {
+		d.aux = append(d.aux, 0)
+	}
+	return x
+}
+
+func (d *rankDSU) Find(x Label) Label {
+	switch d.find {
+	case findKindCompress:
+		return FindCompress(d.p, x)
+	case findKindSplit:
+		return FindSplit(d.p, x)
+	case findKindHalve:
+		return FindHalve(d.p, x)
+	default:
+		return FindRoot(d.p, x)
+	}
+}
+
+func (d *rankDSU) Union(x, y Label) Label {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return rx
+	}
+	switch d.link {
+	case linkKindRank:
+		if d.aux[rx] < d.aux[ry] {
+			rx, ry = ry, rx
+		}
+		d.p[ry] = rx
+		if d.aux[rx] == d.aux[ry] {
+			d.aux[rx]++
+		}
+		return rx
+	case linkKindSize:
+		if d.aux[rx] < d.aux[ry] {
+			rx, ry = ry, rx
+		}
+		d.p[ry] = rx
+		d.aux[rx] += d.aux[ry]
+		return rx
+	default: // linkKindIndex: smaller index becomes the root
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		d.p[ry] = rx
+		return rx
+	}
+}
+
+func (d *rankDSU) Len() int { return len(d.p) }
+
+func (d *rankDSU) Name() string {
+	switch {
+	case d.link == linkKindRank && d.find == findKindCompress:
+		return VariantRankPC
+	case d.link == linkKindRank && d.find == findKindSplit:
+		return VariantRankPS
+	case d.link == linkKindRank && d.find == findKindHalve:
+		return VariantRankPH
+	case d.link == linkKindRank && d.find == findKindNaive:
+		return VariantRankNC
+	case d.link == linkKindSize:
+		return VariantSizePC
+	default:
+		return VariantIndexPC
+	}
+}
+
+// QuickFindDSU is the O(n)-union oracle: every element stores its set id
+// directly, so Find is exact by construction. Tests cross-check every other
+// variant against it.
+type QuickFindDSU struct {
+	id []Label
+}
+
+// MakeSet appends a singleton.
+func (d *QuickFindDSU) MakeSet() Label {
+	x := Label(len(d.id))
+	d.id = append(d.id, x)
+	return x
+}
+
+// Find returns the stored set id.
+func (d *QuickFindDSU) Find(x Label) Label { return d.id[x] }
+
+// Union relabels the larger-id set to the smaller id.
+func (d *QuickFindDSU) Union(x, y Label) Label {
+	ix, iy := d.id[x], d.id[y]
+	if ix == iy {
+		return ix
+	}
+	if ix > iy {
+		ix, iy = iy, ix
+	}
+	for i, v := range d.id {
+		if v == iy {
+			d.id[i] = ix
+		}
+	}
+	return ix
+}
+
+// Len returns the element count.
+func (d *QuickFindDSU) Len() int { return len(d.id) }
+
+// Name identifies the variant.
+func (d *QuickFindDSU) Name() string { return VariantQuickFind }

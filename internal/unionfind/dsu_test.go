@@ -1,0 +1,161 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUnknownVariant(t *testing.T) {
+	if _, err := New("nope", 4); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on bad variant did not panic")
+		}
+	}()
+	MustNew("nope", 4)
+}
+
+func TestAllVariantsConstructible(t *testing.T) {
+	for _, v := range AllVariants() {
+		d := MustNew(v, 8)
+		if d.Name() != v {
+			t.Errorf("variant %q reports Name %q", v, d.Name())
+		}
+		if d.Len() != 0 {
+			t.Errorf("variant %q starts with Len %d", v, d.Len())
+		}
+		a, b := d.MakeSet(), d.MakeSet()
+		if a == b {
+			t.Errorf("variant %q: MakeSet returned duplicate index", v)
+		}
+		if d.Find(a) == d.Find(b) {
+			t.Errorf("variant %q: fresh singletons share a root", v)
+		}
+		d.Union(a, b)
+		if d.Find(a) != d.Find(b) {
+			t.Errorf("variant %q: union did not unite", v)
+		}
+		if d.Len() != 2 {
+			t.Errorf("variant %q: Len = %d, want 2", v, d.Len())
+		}
+	}
+}
+
+// TestVariantsAgreeWithOracle runs every variant against the quick-find
+// oracle under random operation sequences.
+func TestVariantsAgreeWithOracle(t *testing.T) {
+	for _, v := range AllVariants() {
+		if v == VariantQuickFind {
+			continue
+		}
+		v := v
+		t.Run(v, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := 2 + rng.Intn(120)
+				d := MustNew(v, n)
+				oracle := MustNew(VariantQuickFind, n)
+				for i := 0; i < n; i++ {
+					d.MakeSet()
+					oracle.MakeSet()
+				}
+				for k := 0; k < 2*n; k++ {
+					x, y := Label(rng.Intn(n)), Label(rng.Intn(n))
+					d.Union(x, y)
+					oracle.Union(x, y)
+				}
+				for k := 0; k < 4*n; k++ {
+					a, b := Label(rng.Intn(n)), Label(rng.Intn(n))
+					if (d.Find(a) == d.Find(b)) != (oracle.Find(a) == oracle.Find(b)) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnionReturnsRoot(t *testing.T) {
+	for _, v := range AllVariants() {
+		d := MustNew(v, 8)
+		for i := 0; i < 8; i++ {
+			d.MakeSet()
+		}
+		r := d.Union(3, 5)
+		if d.Find(3) != r || d.Find(5) != r {
+			t.Errorf("variant %q: Union returned %d but Find gives %d/%d", v, r, d.Find(3), d.Find(5))
+		}
+		if got := d.Union(3, 5); got != r {
+			t.Errorf("variant %q: repeated Union returned %d, want %d", v, got, r)
+		}
+	}
+}
+
+func TestRemDSUParentsInvariant(t *testing.T) {
+	d := MustNew(VariantRemSP, 32).(*RemDSU)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 32; i++ {
+		d.MakeSet()
+	}
+	for k := 0; k < 100; k++ {
+		d.Union(Label(rng.Intn(32)), Label(rng.Intn(32)))
+	}
+	for i, v := range d.Parents() {
+		if int(v) > i {
+			t.Fatalf("REM invariant violated: p[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestQuickFindUnionRelabelsAll(t *testing.T) {
+	d := MustNew(VariantQuickFind, 6)
+	for i := 0; i < 6; i++ {
+		d.MakeSet()
+	}
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(1, 3) // merges {0,1} and {2,3}
+	for _, x := range []Label{0, 1, 2, 3} {
+		if d.Find(x) != 0 {
+			t.Fatalf("Find(%d) = %d, want 0", x, d.Find(x))
+		}
+	}
+	if d.Find(4) == 0 || d.Find(5) == 0 {
+		t.Fatal("untouched elements joined set 0")
+	}
+}
+
+// TestRankBounded checks the logarithmic-height guarantee of link-by-rank
+// without compression: after n-1 unions the find path length is <= log2(n).
+func TestRankBounded(t *testing.T) {
+	const n = 1024
+	d := MustNew(VariantRankNC, n).(*rankDSU)
+	for i := 0; i < n; i++ {
+		d.MakeSet()
+	}
+	rng := rand.New(rand.NewSource(42))
+	for k := 0; k < 4*n; k++ {
+		d.Union(Label(rng.Intn(n)), Label(rng.Intn(n)))
+	}
+	for i := 0; i < n; i++ {
+		depth := 0
+		x := Label(i)
+		for d.p[x] != x {
+			x = d.p[x]
+			depth++
+			if depth > 10 { // log2(1024)
+				t.Fatalf("find path from %d exceeds log2(n)", i)
+			}
+		}
+	}
+}

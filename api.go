@@ -135,6 +135,23 @@ type Result struct {
 
 // Label runs the selected algorithm over img.
 func Label(img *Image, opt Options) (*Result, error) {
+	return LabelInto(img, nil, nil, opt)
+}
+
+// Scratch holds reusable labeling state (the union-find equivalence arrays)
+// for LabelInto. A zero Scratch is ready to use; a Scratch must not be shared
+// by concurrent labelings.
+type Scratch = core.Scratch
+
+// LabelInto is Label writing its result into caller-provided buffers: dst is
+// reshaped with Reset (so its label buffer is reused when large enough) and
+// sc supplies the equivalence arrays. Either may be nil, in which case fresh
+// buffers are allocated, making LabelInto(img, nil, nil, opt) identical to
+// Label(img, opt). Reusing dst and sc across calls makes sustained labeling
+// with the paper's algorithms (PAREMSP, AREMSP, CCLREMSP) allocation-free;
+// for the baseline algorithms the labeling still allocates internally and
+// the result is copied into dst.
+func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
 	if img == nil {
 		return nil, fmt.Errorf("paremsp: nil image")
 	}
@@ -172,13 +189,25 @@ func Label(img *Image, opt Options) (*Result, error) {
 		if opt.UseCASMerger {
 			copt.Merger = core.MergerCAS
 		}
+		if dst == nil {
+			dst = &LabelMap{}
+		}
 		var times core.PhaseTimes
-		lm, n, times = core.PAREMSPTimed(img, copt)
+		n, times = core.PAREMSPTimedInto(img, dst, sc, copt)
+		lm = dst
 		res.Phases = times
 	case AlgAREMSP:
-		lm, n = core.AREMSP(img)
+		if dst == nil {
+			dst = &LabelMap{}
+		}
+		n = core.AREMSPInto(img, dst, sc)
+		lm = dst
 	case AlgCCLREMSP:
-		lm, n = core.CCLREMSP(img)
+		if dst == nil {
+			dst = &LabelMap{}
+		}
+		n = core.CCLREMSPInto(img, dst, sc)
+		lm = dst
 	case AlgCCLLRPC:
 		lm, n = baseline.CCLLRPC(img)
 	case AlgARUN:
@@ -199,6 +228,18 @@ func Label(img *Image, opt Options) (*Result, error) {
 		lm, n = baseline.FloodFill(img, baseline.Connectivity(conn))
 	default:
 		return nil, fmt.Errorf("paremsp: unknown algorithm %q", alg)
+	}
+	if dst != nil && lm != dst {
+		// A baseline labeled into its own fresh map; honor the dst contract.
+		// Reshape without Reset's clear — the copy overwrites every label.
+		if cap(dst.L) < len(lm.L) {
+			dst.L = make([]LabelID, len(lm.L))
+		} else {
+			dst.L = dst.L[:len(lm.L)]
+		}
+		dst.Width, dst.Height = lm.Width, lm.Height
+		copy(dst.L, lm.L)
+		lm = dst
 	}
 	res.Labels = lm
 	res.NumComponents = n

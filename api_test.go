@@ -207,3 +207,62 @@ func TestEncodeLabelOutputs(t *testing.T) {
 		t.Fatal("PNG label mask does not reproduce the image")
 	}
 }
+
+func TestLabelIntoMatchesLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	img := paremsp.NewImage(64, 48)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(2))
+	}
+	dst := &paremsp.LabelMap{}
+	sc := &paremsp.Scratch{}
+	for _, alg := range paremsp.Algorithms() {
+		want, err := paremsp.Label(img, paremsp.Options{Algorithm: alg, Threads: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		got, err := paremsp.LabelInto(img, dst, sc, paremsp.Options{Algorithm: alg, Threads: 3})
+		if err != nil {
+			t.Fatalf("%s: LabelInto: %v", alg, err)
+		}
+		if got.Labels != dst {
+			t.Fatalf("%s: LabelInto did not label into dst", alg)
+		}
+		if got.NumComponents != want.NumComponents {
+			t.Fatalf("%s: LabelInto found %d components, Label found %d",
+				alg, got.NumComponents, want.NumComponents)
+		}
+		if err := paremsp.Equivalent(got.Labels, want.Labels); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestLabelIntoReusesBuffers(t *testing.T) {
+	big := paremsp.NewImage(50, 40)
+	small := paremsp.NewImage(20, 10)
+	for _, im := range []*paremsp.Image{big, small} {
+		for i := range im.Pix {
+			im.Pix[i] = uint8((i / 3) % 2)
+		}
+	}
+	dst := &paremsp.LabelMap{}
+	sc := &paremsp.Scratch{}
+	if _, err := paremsp.LabelInto(big, dst, sc, paremsp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	bigBuf := &dst.L[0]
+	res, err := paremsp.LabelInto(small, dst, sc, paremsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dst.L[0] != bigBuf {
+		t.Fatal("labeling a smaller image reallocated the label buffer")
+	}
+	if dst.Width != small.Width || dst.Height != small.Height {
+		t.Fatalf("dst reshaped to %dx%d, want %dx%d", dst.Width, dst.Height, small.Width, small.Height)
+	}
+	if err := paremsp.Validate(small, res.Labels, res.NumComponents, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+// Command ccserve runs the HTTP connected-component labeling service.
+//
+// Usage:
+//
+//	ccserve [-addr :8377] [-workers 0] [-queue 0] [-threads 0]
+//	        [-max-bytes 67108864] [-level 0.5]
+//
+// The server labels images POSTed to /v1/label (PBM/PGM/PNG body; the
+// response format follows the Accept header: JSON component statistics,
+// a PGM or PNG label map, or a CCL1 label stream) on a bounded worker
+// pool, answering 429 when the queue is full. /healthz is a liveness
+// probe and /metrics exposes request counters and cumulative per-phase
+// timings in Prometheus text format. SIGINT or SIGTERM triggers a
+// graceful shutdown.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.CCServe(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -29,4 +29,16 @@
 // Labeling follows the paper's conventions: binary images store one byte per
 // pixel (1 = object, 0 = background), connectivity is 8-connectedness, and
 // the result's label 0 means background.
+//
+// # Buffer reuse and the service layer
+//
+// LabelInto is Label writing into caller-provided buffers: a LabelMap
+// (reshaped with Reset) and a Scratch holding the union-find equivalence
+// arrays. Reusing both across calls makes sustained labeling with the
+// paper's algorithms allocation-free, the regime a long-lived server needs.
+// internal/service builds on it: an Engine runs LabelInto on a bounded
+// worker pool with sync.Pool-managed rasters and backpressure, and its HTTP
+// handler (cmd/ccserve) serves POST /v1/label with JSON statistics, PGM/PNG
+// label maps, or CCL1 label streams, plus /healthz and /metrics with the
+// per-phase timings above as live counters.
 package paremsp

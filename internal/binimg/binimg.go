@@ -31,6 +31,24 @@ func New(width, height int) *Image {
 	return &Image{Width: width, Height: height, Pix: make([]uint8, width*height)}
 }
 
+// Reset reshapes the image to width x height and zeroes every pixel, reusing
+// the existing pixel buffer when it has capacity. Long-lived servers reset
+// pooled images between requests instead of allocating a raster per request.
+// It panics if either dimension is negative.
+func (im *Image) Reset(width, height int) {
+	if width < 0 || height < 0 {
+		panic(fmt.Sprintf("binimg: negative dimensions %dx%d", width, height))
+	}
+	n := width * height
+	if cap(im.Pix) < n {
+		im.Pix = make([]uint8, n)
+	} else {
+		im.Pix = im.Pix[:n]
+		clear(im.Pix)
+	}
+	im.Width, im.Height = width, height
+}
+
 // FromPix wraps an existing pixel slice without copying. The slice must hold
 // exactly width*height bytes, each 0 or 1 (not validated; see Validate).
 func FromPix(width, height int, pix []uint8) (*Image, error) {

@@ -27,6 +27,24 @@ func NewLabelMap(width, height int) *LabelMap {
 	return &LabelMap{Width: width, Height: height, L: make([]Label, width*height)}
 }
 
+// Reset reshapes the label map to width x height and zeroes every label,
+// reusing the existing buffer when it has capacity. The labelers' *Into entry
+// points call this, so pooled label maps are reusable across differently
+// sized requests. It panics if either dimension is negative.
+func (lm *LabelMap) Reset(width, height int) {
+	if width < 0 || height < 0 {
+		panic(fmt.Sprintf("binimg: negative dimensions %dx%d", width, height))
+	}
+	n := width * height
+	if cap(lm.L) < n {
+		lm.L = make([]Label, n)
+	} else {
+		lm.L = lm.L[:n]
+		clear(lm.L)
+	}
+	lm.Width, lm.Height = width, height
+}
+
 // At returns the label at (x, y). It panics on out-of-range coordinates.
 func (lm *LabelMap) At(x, y int) Label {
 	if x < 0 || x >= lm.Width || y < 0 || y >= lm.Height {

@@ -1,23 +1,31 @@
 // Package cli implements the command-line tools (cclabel, genimg,
-// paperbench, ccstream) as testable Run functions; the cmd/* mains are thin wrappers.
+// paperbench, ccstream, ccserve) as testable Run functions; the cmd/* mains
+// are thin wrappers.
 // Each Run parses its own flags from args (excluding the program name),
 // writes human output to stdout and diagnostics to stderr, and returns a
 // process exit code.
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	paremsp "repro"
 	"repro/internal/binimg"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/stream"
 )
 
@@ -248,6 +256,73 @@ func CCStream(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%s: %d components in %v; labels written to %s\n",
 		filepath.Base(fs.Arg(0)), n, time.Since(start).Round(time.Millisecond), *out)
 	return 0
+}
+
+// CCServe implements the ccserve command: run the HTTP labeling service on a
+// bounded worker pool until SIGINT/SIGTERM, then shut down gracefully
+// (in-flight requests finish, the queue drains, and the listener closes).
+func CCServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8377", "listen address")
+	workers := fs.Int("workers", 0, "labeling workers (0 = all CPUs)")
+	queue := fs.Int("queue", 0, "queued requests beyond in-flight before 429 (0 = 2x workers)")
+	threads := fs.Int("threads", 0, "default paremsp threads per request (0 = CPUs/workers)")
+	maxBytes := fs.Int64("max-bytes", 64<<20, "largest accepted image body in bytes")
+	level := fs.Float64("level", 0.5, "default binarization threshold for grayscale input, in (0, 1); per-request ?level= accepts [0, 1)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: ccserve [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+	if *maxBytes <= 0 {
+		fmt.Fprintln(stderr, "ccserve: -max-bytes must be positive")
+		return 2
+	}
+	if *level <= 0 || *level >= 1 {
+		fmt.Fprintln(stderr, "ccserve: -level must be in (0, 1)")
+		return 2
+	}
+
+	eng := service.NewEngine(service.Config{Workers: *workers, QueueDepth: *queue, Threads: *threads})
+	srv := &http.Server{
+		Handler: service.NewHandler(eng, service.HandlerConfig{MaxImageBytes: *maxBytes, Level: *level}),
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		eng.Close()
+		fmt.Fprintln(stderr, "ccserve:", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "ccserve: listening on %s (%d workers, queue %d)\n",
+		ln.Addr(), eng.Workers(), eng.QueueDepth())
+
+	select {
+	case err := <-errCh:
+		eng.Close()
+		fmt.Fprintln(stderr, "ccserve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(stdout, "ccserve: shutting down")
+	sdCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "ccserve: shutdown:", err)
+		code = 1
+	}
+	eng.Close()
+	return code
 }
 
 // PaperBench implements the paperbench command: regenerate the paper's

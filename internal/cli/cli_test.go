@@ -220,3 +220,18 @@ func TestCCStreamErrors(t *testing.T) {
 		t.Errorf("missing input: exit %d, want 1", code)
 	}
 }
+
+func TestCCServeBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nonsense"},
+		{"positional"},
+		{"-max-bytes", "-5"},
+		{"-level", "0"},
+		{"-level", "1.5"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := cli.CCServe(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("CCServe(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}

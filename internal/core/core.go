@@ -58,28 +58,88 @@ func (s *RemSink) Count() Label { return s.count }
 // Parents exposes the parent array for the flatten pass.
 func (s *RemSink) Parents() []Label { return s.p }
 
+// Scratch holds the reusable equivalence buffers behind the *Into entry
+// points. A zero Scratch is ready to use; reusing one across calls amortizes
+// the parent-array allocation, the dominant non-raster allocation of every
+// REMSP algorithm. A Scratch must not be shared by concurrent labelings.
+type Scratch struct {
+	p  []Label
+	lt *unionfind.LockTable
+}
+
+// parents returns a zeroed parent array with n+1 slots (slot 0 is the
+// background), growing the retained buffer only when needed. Zeroing is
+// required by FlattenSparse, which treats p[i] == 0 as "label never created".
+func (s *Scratch) parents(n int) []Label {
+	if cap(s.p) < n+1 {
+		s.p = make([]Label, n+1)
+	} else {
+		s.p = s.p[:n+1]
+		clear(s.p)
+	}
+	return s.p
+}
+
+// lockTable returns a retained lock table with the requested stripe count
+// (0 selects the default). A table whose run has completed has every stripe
+// unlocked, so reuse across labelings is safe.
+func (s *Scratch) lockTable(stripes int) *unionfind.LockTable {
+	want := stripes
+	if want == 0 {
+		want = unionfind.DefaultLockStripes
+	}
+	if s.lt == nil || s.lt.Stripes() != want {
+		s.lt = unionfind.NewLockTable(stripes)
+	}
+	return s.lt
+}
+
 // CCLREMSP is the paper's Algorithm 1: decision-tree scan phase, FLATTEN
 // analysis phase, labeling phase. Returns the final label map (consecutive
 // labels 1..n, background 0) and n.
 func CCLREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
-	lm := binimg.NewLabelMap(img.Width, img.Height)
-	sink := NewRemSink(scan.MaxProvisionalLabels(img.Width, img.Height))
+	lm := &binimg.LabelMap{}
+	n := CCLREMSPInto(img, lm, nil)
+	return lm, n
+}
+
+// CCLREMSPInto is CCLREMSP labeling into a caller-provided label map (reshaped
+// with Reset) and drawing equivalence buffers from sc (nil allocates fresh
+// ones). Returns the component count.
+func CCLREMSPInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) int {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	lm.Reset(img.Width, img.Height)
+	sink := &RemSink{p: sc.parents(scan.MaxProvisionalLabels(img.Width, img.Height))}
 	scan.DecisionTree(img, lm, sink, 0, img.Height)
 	n := unionfind.Flatten(sink.p, sink.count)
 	relabelSeq(lm, sink.p)
-	return lm, int(n)
+	return int(n)
 }
 
 // AREMSP is the paper's Algorithm 5: two-rows-at-a-time scan phase (Alg. 6),
 // FLATTEN analysis phase (Alg. 3), labeling phase. This is the paper's best
 // sequential algorithm and the one PAREMSP parallelizes.
 func AREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
-	lm := binimg.NewLabelMap(img.Width, img.Height)
-	sink := NewRemSink(scan.MaxProvisionalLabels(img.Width, img.Height))
+	lm := &binimg.LabelMap{}
+	n := AREMSPInto(img, lm, nil)
+	return lm, n
+}
+
+// AREMSPInto is AREMSP labeling into a caller-provided label map (reshaped
+// with Reset) and drawing equivalence buffers from sc (nil allocates fresh
+// ones). Returns the component count.
+func AREMSPInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) int {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	lm.Reset(img.Width, img.Height)
+	sink := &RemSink{p: sc.parents(scan.MaxProvisionalLabels(img.Width, img.Height))}
 	scan.PairRows(img, lm, sink, 0, img.Height)
 	n := unionfind.Flatten(sink.p, sink.count)
 	relabelSeq(lm, sink.p)
-	return lm, int(n)
+	return int(n)
 }
 
 // relabelSeq rewrites provisional labels to final labels through the

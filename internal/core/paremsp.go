@@ -103,14 +103,28 @@ func PAREMSP(img *binimg.Image, threads int) (*binimg.LabelMap, int) {
 // Phase III runs FLATTEN (sparse form: untouched label slots are skipped so
 // final labels stay consecutive). Phase IV rewrites the label raster.
 func PAREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseTimes) {
+	lm := &binimg.LabelMap{}
+	n, times := PAREMSPTimedInto(img, lm, nil, opt)
+	return lm, n, times
+}
+
+// PAREMSPTimedInto is PAREMSPTimed labeling into a caller-provided label map
+// (reshaped with Reset) and drawing the shared parent array from sc (nil
+// allocates a fresh one). Reusing lm and sc across calls makes sustained
+// labeling allocation-free; this is the entry point the service layer's
+// buffer pools feed.
+func PAREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
 	threads := opt.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	w, h := img.Width, img.Height
-	lm := binimg.NewLabelMap(w, h)
+	lm.Reset(w, h)
 	if w == 0 || h == 0 {
-		return lm, 0, PhaseTimes{}
+		return 0, PhaseTimes{}
 	}
 
 	// Chunk geometry: numiter row pairs split across threads, each chunk an
@@ -124,7 +138,7 @@ func PAREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseT
 
 	stride := Label(scan.RowPairLabelStride(w))
 	maxLabel := Label(numPairs) * stride
-	p := make([]Label, maxLabel+1)
+	p := sc.parents(int(maxLabel))
 
 	var times PhaseTimes
 
@@ -146,7 +160,7 @@ func PAREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseT
 
 	// Phase II: boundary merges.
 	t0 = time.Now()
-	merge := mergeFunc(opt, p)
+	merge := mergeFunc(opt, p, sc)
 	boundaries := starts[1 : len(starts)-1]
 	if opt.SequentialBoundary {
 		for _, row := range boundaries {
@@ -179,7 +193,7 @@ func PAREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseT
 	}
 	times.Relabel = time.Since(t0)
 
-	return lm, int(n), times
+	return int(n), times
 }
 
 // chunkStarts splits numPairs row pairs over threads chunks as evenly as
@@ -201,13 +215,14 @@ func chunkStarts(numPairs, threads, h int) []int {
 	return starts
 }
 
-// mergeFunc returns the configured concurrent union bound to p.
-func mergeFunc(opt Options, p []Label) func(x, y Label) {
+// mergeFunc returns the configured concurrent union bound to p, drawing the
+// lock table from sc so repeated labelings reuse it.
+func mergeFunc(opt Options, p []Label, sc *Scratch) func(x, y Label) {
 	switch opt.Merger {
 	case MergerCAS:
 		return func(x, y Label) { unionfind.MergeCAS(p, x, y) }
 	default:
-		lt := unionfind.NewLockTable(opt.LockStripes)
+		lt := sc.lockTable(opt.LockStripes)
 		return func(x, y Label) { unionfind.MergeLocked(p, lt, x, y) }
 	}
 }

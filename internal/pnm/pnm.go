@@ -28,27 +28,38 @@ const maxDimension = 1 << 20
 // Grayscale pixels are binarized with threshold level (im2bw semantics:
 // luminance fraction strictly greater than level becomes foreground).
 func Decode(r io.Reader, level float64) (*binimg.Image, error) {
+	im := &binimg.Image{}
+	if err := DecodeInto(r, level, im); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// DecodeInto is Decode into a caller-provided image, reshaped with Reset so
+// its pixel buffer is reused when large enough. Long-lived servers decode
+// request bodies into pooled images this way.
+func DecodeInto(r io.Reader, level float64, dst *binimg.Image) error {
 	br := bufio.NewReader(r)
 	magic, err := readToken(br)
 	if err != nil {
-		return nil, fmt.Errorf("pnm: reading magic: %w", err)
+		return fmt.Errorf("pnm: reading magic: %w", err)
 	}
 	switch magic {
 	case "P1", "P4":
-		return decodePBM(br, magic == "P4")
+		return decodePBM(br, magic == "P4", dst)
 	case "P2", "P5":
-		return decodePGM(br, magic == "P5", level)
+		return decodePGM(br, magic == "P5", level, dst)
 	default:
-		return nil, fmt.Errorf("pnm: unsupported magic %q (want P1, P2, P4 or P5)", magic)
+		return fmt.Errorf("pnm: unsupported magic %q (want P1, P2, P4 or P5)", magic)
 	}
 }
 
-func decodePBM(br *bufio.Reader, raw bool) (*binimg.Image, error) {
+func decodePBM(br *bufio.Reader, raw bool, im *binimg.Image) error {
 	w, h, err := readDims(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	im := binimg.New(w, h)
+	im.Reset(w, h)
 	if raw {
 		// readToken consumed the single post-header whitespace byte, so the
 		// packed rows start immediately: each row padded to a whole number
@@ -57,7 +68,7 @@ func decodePBM(br *bufio.Reader, raw bool) (*binimg.Image, error) {
 		rowBuf := make([]byte, stride)
 		for y := 0; y < h; y++ {
 			if _, err := io.ReadFull(br, rowBuf); err != nil {
-				return nil, fmt.Errorf("pnm: P4 row %d: %w", y, err)
+				return fmt.Errorf("pnm: P4 row %d: %w", y, err)
 			}
 			for x := 0; x < w; x++ {
 				if rowBuf[x/8]&(0x80>>(x%8)) != 0 {
@@ -65,12 +76,12 @@ func decodePBM(br *bufio.Reader, raw bool) (*binimg.Image, error) {
 				}
 			}
 		}
-		return im, nil
+		return nil
 	}
 	for i := 0; i < w*h; i++ {
 		tok, err := readToken(br)
 		if err != nil {
-			return nil, fmt.Errorf("pnm: P1 pixel %d: %w", i, err)
+			return fmt.Errorf("pnm: P1 pixel %d: %w", i, err)
 		}
 		switch tok {
 		case "0":
@@ -78,26 +89,26 @@ func decodePBM(br *bufio.Reader, raw bool) (*binimg.Image, error) {
 		case "1":
 			im.Pix[i] = 1
 		default:
-			return nil, fmt.Errorf("pnm: P1 pixel %d: invalid token %q", i, tok)
+			return fmt.Errorf("pnm: P1 pixel %d: invalid token %q", i, tok)
 		}
 	}
-	return im, nil
+	return nil
 }
 
-func decodePGM(br *bufio.Reader, raw bool, level float64) (*binimg.Image, error) {
+func decodePGM(br *bufio.Reader, raw bool, level float64, im *binimg.Image) error {
 	w, h, err := readDims(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	maxTok, err := readToken(br)
 	if err != nil {
-		return nil, fmt.Errorf("pnm: reading maxval: %w", err)
+		return fmt.Errorf("pnm: reading maxval: %w", err)
 	}
 	maxVal, err := strconv.Atoi(maxTok)
 	if err != nil || maxVal < 1 || maxVal > 65535 {
-		return nil, fmt.Errorf("pnm: invalid maxval %q", maxTok)
+		return fmt.Errorf("pnm: invalid maxval %q", maxTok)
 	}
-	im := binimg.New(w, h)
+	im.Reset(w, h)
 	thresh := level * float64(maxVal)
 	if raw {
 		bytesPer := 1
@@ -107,7 +118,7 @@ func decodePGM(br *bufio.Reader, raw bool, level float64) (*binimg.Image, error)
 		buf := make([]byte, w*bytesPer)
 		for y := 0; y < h; y++ {
 			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, fmt.Errorf("pnm: P5 row %d: %w", y, err)
+				return fmt.Errorf("pnm: P5 row %d: %w", y, err)
 			}
 			for x := 0; x < w; x++ {
 				var v int
@@ -121,22 +132,22 @@ func decodePGM(br *bufio.Reader, raw bool, level float64) (*binimg.Image, error)
 				}
 			}
 		}
-		return im, nil
+		return nil
 	}
 	for i := 0; i < w*h; i++ {
 		tok, err := readToken(br)
 		if err != nil {
-			return nil, fmt.Errorf("pnm: P2 pixel %d: %w", i, err)
+			return fmt.Errorf("pnm: P2 pixel %d: %w", i, err)
 		}
 		v, err := strconv.Atoi(tok)
 		if err != nil || v < 0 || v > maxVal {
-			return nil, fmt.Errorf("pnm: P2 pixel %d: invalid value %q", i, tok)
+			return fmt.Errorf("pnm: P2 pixel %d: invalid value %q", i, tok)
 		}
 		if float64(v) > thresh {
 			im.Pix[i] = 1
 		}
 	}
-	return im, nil
+	return nil
 }
 
 // readDims reads and validates the width and height tokens.
@@ -244,22 +255,33 @@ func EncodePGM(w io.Writer, lm *binimg.LabelMap) error {
 // the standard library's grayscale conversion) strictly greater than
 // level*65535 becomes foreground.
 func DecodePNG(r io.Reader, level float64) (*binimg.Image, error) {
+	im := &binimg.Image{}
+	if err := DecodePNGInto(r, level, im); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// DecodePNGInto is DecodePNG into a caller-provided image, reshaped with
+// Reset so its pixel buffer is reused when large enough. (The intermediate
+// image.Image the standard decoder builds is still allocated per call.)
+func DecodePNGInto(r io.Reader, level float64, dst *binimg.Image) error {
 	src, err := png.Decode(r)
 	if err != nil {
-		return nil, fmt.Errorf("pnm: decoding png: %w", err)
+		return fmt.Errorf("pnm: decoding png: %w", err)
 	}
 	b := src.Bounds()
-	im := binimg.New(b.Dx(), b.Dy())
+	dst.Reset(b.Dx(), b.Dy())
 	thresh := level * 65535
 	for y := b.Min.Y; y < b.Max.Y; y++ {
 		for x := b.Min.X; x < b.Max.X; x++ {
 			g := color.Gray16Model.Convert(src.At(x, y)).(color.Gray16)
 			if float64(g.Y) > thresh {
-				im.Pix[(y-b.Min.Y)*im.Width+(x-b.Min.X)] = 1
+				dst.Pix[(y-b.Min.Y)*dst.Width+(x-b.Min.X)] = 1
 			}
 		}
 	}
-	return im, nil
+	return nil
 }
 
 // EncodePNG writes a label map as a grayscale PNG (same palette rule as

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	paremsp "repro"
+)
+
+// Typed engine errors. The HTTP layer maps ErrQueueFull to 429 and ErrClosed
+// to 503; library callers can match them with errors.Is.
+var (
+	// ErrQueueFull reports that the engine's queue held QueueDepth pending
+	// requests already and the new one was rejected (backpressure).
+	ErrQueueFull = errors.New("service: request queue full")
+	// ErrClosed reports a Label call after Close.
+	ErrClosed = errors.New("service: engine closed")
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers is the number of labeling goroutines (the in-flight bound).
+	// 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth is how many requests may wait beyond the in-flight ones
+	// before Label rejects with ErrQueueFull. 0 selects 2*Workers.
+	QueueDepth int
+	// Threads is the default PAREMSP thread count per request when the
+	// request does not pin its own. 0 selects GOMAXPROCS/Workers (at least
+	// 1), so a fully busy pool does not oversubscribe the CPUs.
+	Threads int
+}
+
+// Engine runs labelings on a bounded worker pool. Create one with NewEngine;
+// the zero value is not usable.
+type Engine struct {
+	workers    int
+	queueDepth int
+	threads    int
+	queue      chan *job
+	wg         sync.WaitGroup
+	metrics    metrics
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+
+	imgPool sync.Pool // *paremsp.Image
+	lmPool  sync.Pool // *paremsp.LabelMap
+	scPool  sync.Pool // *paremsp.Scratch
+
+	// run performs one labeling; tests substitute it to control timing.
+	run func(img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
+}
+
+type job struct {
+	ctx  context.Context
+	img  *paremsp.Image
+	opt  paremsp.Options
+	done chan jobResult
+}
+
+type jobResult struct {
+	res *paremsp.Result
+	err error
+}
+
+// NewEngine starts a worker pool per cfg. Callers must Close it to stop the
+// workers.
+func NewEngine(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0) / workers
+		if threads < 1 {
+			threads = 1
+		}
+	}
+	e := &Engine{
+		workers:    workers,
+		queueDepth: depth,
+		threads:    threads,
+		queue:      make(chan *job, depth),
+		run:        paremsp.LabelInto,
+	}
+	e.imgPool.New = func() any { return &paremsp.Image{} }
+	e.lmPool.New = func() any { return &paremsp.LabelMap{} }
+	e.scPool.New = func() any { return &paremsp.Scratch{} }
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the size of the worker pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// QueueDepth returns the queue capacity beyond in-flight requests.
+func (e *Engine) QueueDepth() int { return e.queueDepth }
+
+// GetImage borrows a binary image from the raster pool; decode into it with
+// the DecodeInto helpers and hand it to Label, which consumes it. If the
+// image never reaches Label (e.g. decoding failed), return it with PutImage.
+func (e *Engine) GetImage() *paremsp.Image { return e.imgPool.Get().(*paremsp.Image) }
+
+// PutImage returns a borrowed image to the raster pool.
+func (e *Engine) PutImage(img *paremsp.Image) {
+	if img != nil {
+		e.imgPool.Put(img)
+	}
+}
+
+// PutResult returns a Label result's label map to the raster pool. Call it
+// after the response has been written; the result must not be used afterward.
+func (e *Engine) PutResult(res *paremsp.Result) {
+	if res != nil && res.Labels != nil {
+		e.lmPool.Put(res.Labels)
+		res.Labels = nil
+	}
+}
+
+// Label labels img with the engine's worker pool and per-request options,
+// blocking until the labeling completes, ctx is done, or the request is
+// rejected. Backpressure: if Workers labelings are in flight and QueueDepth
+// more are queued, it fails immediately with ErrQueueFull.
+//
+// Label consumes img: on every path (success, rejection, cancellation) the
+// engine returns it to the raster pool, possibly after Label itself has
+// returned — so the caller must not touch img afterward; read any per-image
+// facts (dimensions, density) before calling. The returned result's label
+// map is pool-owned; release it with PutResult.
+func (e *Engine) Label(ctx context.Context, img *paremsp.Image, opt paremsp.Options) (*paremsp.Result, error) {
+	e.metrics.requests.Add(1)
+	if opt.Threads == 0 {
+		opt.Threads = e.threads
+	}
+	j := &job{ctx: ctx, img: img, opt: opt, done: make(chan jobResult, 1)}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.metrics.rejected.Add(1)
+		e.imgPool.Put(img)
+		return nil, ErrClosed
+	}
+	select {
+	case e.queue <- j:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.metrics.rejected.Add(1)
+		e.imgPool.Put(img)
+		return nil, ErrQueueFull
+	}
+
+	// Once enqueued, the worker owns img and returns it to the pool.
+	select {
+	case r := <-j.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		e.metrics.canceled.Add(1)
+		// The worker may still pick the job up (and is the one holding img);
+		// reclaim the label map when it finishes so the pool stays warm.
+		go func() {
+			if r := <-j.done; r.res != nil {
+				e.PutResult(r.res)
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting work and waits for in-flight and queued labelings to
+// drain. Subsequent Label calls return ErrClosed; Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		if j.ctx.Err() != nil {
+			e.metrics.errors.Add(1)
+			e.imgPool.Put(j.img)
+			j.done <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		e.metrics.inFlight.Add(1)
+		lm := e.lmPool.Get().(*paremsp.LabelMap)
+		sc := e.scPool.Get().(*paremsp.Scratch)
+		npix := len(j.img.Pix)
+		res, err := e.run(j.img, lm, sc, j.opt)
+		e.scPool.Put(sc)
+		e.imgPool.Put(j.img)
+		e.metrics.inFlight.Add(-1)
+		if err != nil {
+			e.lmPool.Put(lm)
+			e.metrics.errors.Add(1)
+			j.done <- jobResult{err: err}
+			continue
+		}
+		e.metrics.completed.Add(1)
+		e.metrics.pixels.Add(int64(npix))
+		e.metrics.components.Add(int64(res.NumComponents))
+		e.metrics.scanNs.Add(res.Phases.Scan.Nanoseconds())
+		e.metrics.mergeNs.Add(res.Phases.Merge.Nanoseconds())
+		e.metrics.flattenNs.Add(res.Phases.Flatten.Nanoseconds())
+		e.metrics.relabelNs.Add(res.Phases.Relabel.Nanoseconds())
+		j.done <- jobResult{res: res}
+	}
+}

@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	paremsp "repro"
+	"repro/internal/pnm"
+	"repro/internal/stream"
+)
+
+// Media types the service speaks.
+const (
+	ctPBM  = "image/x-portable-bitmap"
+	ctPGM  = "image/x-portable-graymap"
+	ctPNM  = "image/x-portable-anymap"
+	ctPNG  = "image/png"
+	ctCCL  = "application/x-ccl"
+	ctJSON = "application/json"
+)
+
+// HandlerConfig configures NewHandler.
+type HandlerConfig struct {
+	// MaxImageBytes caps the request body; larger uploads get 413.
+	// 0 selects 64 MiB.
+	MaxImageBytes int64
+	// Level is the default binarization threshold for grayscale input
+	// (im2bw semantics); requests override it with ?level=. 0 selects the
+	// paper's 0.5.
+	Level float64
+}
+
+type handler struct {
+	engine   *Engine
+	maxBytes int64
+	level    float64
+}
+
+// NewHandler wraps an Engine in the service's HTTP surface: POST /v1/label,
+// GET /healthz, GET /metrics.
+func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
+	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level}
+	if h.maxBytes <= 0 {
+		h.maxBytes = 64 << 20
+	}
+	if h.level == 0 {
+		h.level = 0.5
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/label", h.label)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.engine.Snapshot().WriteTo(w)
+}
+
+// labelResponse is the JSON body of a successful /v1/label request.
+type labelResponse struct {
+	Width         int             `json:"width"`
+	Height        int             `json:"height"`
+	NumComponents int             `json:"num_components"`
+	Density       float64         `json:"density"`
+	Phases        *phasesJSON     `json:"phases,omitempty"`
+	Components    []componentJSON `json:"components,omitempty"`
+}
+
+type phasesJSON struct {
+	ScanNs    int64 `json:"scan_ns"`
+	MergeNs   int64 `json:"merge_ns"`
+	FlattenNs int64 `json:"flatten_ns"`
+	RelabelNs int64 `json:"relabel_ns"`
+}
+
+type componentJSON struct {
+	Label    int32      `json:"label"`
+	Area     int        `json:"area"`
+	BBox     [4]int     `json:"bbox"` // min_x, min_y, max_x, max_y (inclusive)
+	Centroid [2]float64 `json:"centroid"`
+}
+
+func (h *handler) label(w http.ResponseWriter, r *http.Request) {
+	accept, ok := negotiateAccept(r.Header.Get("Accept"))
+	if !ok {
+		http.Error(w, fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
+			r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL), http.StatusNotAcceptable)
+		return
+	}
+	opt, level, wantStats, err := parseOptions(r, h.level)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, h.maxBytes))
+	kind, err := bodyKind(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
+	img := h.engine.GetImage()
+	switch kind {
+	case "pnm":
+		err = pnm.DecodeInto(body, level, img)
+	case "png":
+		err = pnm.DecodePNGInto(body, level, img)
+	}
+	if err != nil {
+		h.engine.PutImage(img)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Label consumes img (the engine may return it to the pool after a
+	// cancellation while a worker still reads it), so capture the per-image
+	// response facts first.
+	width, height, density := img.Width, img.Height, img.Density()
+	res, err := h.engine.Label(r.Context(), img, opt)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client gave up; nothing useful to write.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			// Engine labeling errors are option-validation failures
+			// (unknown algorithm, unsupported connectivity).
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	defer h.engine.PutResult(res)
+
+	switch accept {
+	case ctJSON:
+		resp := labelResponse{
+			Width:         width,
+			Height:        height,
+			NumComponents: res.NumComponents,
+			Density:       density,
+		}
+		if res.Phases.Total() > 0 {
+			resp.Phases = &phasesJSON{
+				ScanNs:    res.Phases.Scan.Nanoseconds(),
+				MergeNs:   res.Phases.Merge.Nanoseconds(),
+				FlattenNs: res.Phases.Flatten.Nanoseconds(),
+				RelabelNs: res.Phases.Relabel.Nanoseconds(),
+			}
+		}
+		if wantStats {
+			comps := paremsp.ComponentsOf(res.Labels)
+			resp.Components = make([]componentJSON, len(comps))
+			for i, c := range comps {
+				resp.Components[i] = componentJSON{
+					Label:    c.Label,
+					Area:     c.Area,
+					BBox:     [4]int{c.MinX, c.MinY, c.MaxX, c.MaxY},
+					Centroid: [2]float64{c.CentroidX, c.CentroidY},
+				}
+			}
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		json.NewEncoder(w).Encode(resp)
+	case ctPGM:
+		w.Header().Set("Content-Type", ctPGM)
+		paremsp.EncodeLabelsPGM(w, res.Labels)
+	case ctPNG:
+		w.Header().Set("Content-Type", ctPNG)
+		paremsp.EncodeLabelsPNG(w, res.Labels)
+	case ctCCL:
+		w.Header().Set("Content-Type", ctCCL)
+		stream.WriteLabels(w, res.Labels, res.NumComponents)
+	}
+}
+
+// parseOptions builds per-request labeling options from the query string:
+// alg (algorithm name), threads, conn (4 or 8), level (binarization
+// threshold), stats (include per-component statistics in JSON; default true).
+func parseOptions(r *http.Request, defLevel float64) (opt paremsp.Options, level float64, wantStats bool, err error) {
+	q := r.URL.Query()
+	level, wantStats = defLevel, true
+	if v := q.Get("alg"); v != "" {
+		opt.Algorithm = paremsp.Algorithm(v)
+	}
+	if v := q.Get("threads"); v != "" {
+		opt.Threads, err = strconv.Atoi(v)
+		if err != nil || opt.Threads < 0 {
+			return opt, level, wantStats, fmt.Errorf("invalid threads %q", v)
+		}
+	}
+	if v := q.Get("conn"); v != "" {
+		opt.Connectivity, err = strconv.Atoi(v)
+		if err != nil || (opt.Connectivity != 4 && opt.Connectivity != 8) {
+			return opt, level, wantStats, fmt.Errorf("invalid conn %q (want 4 or 8)", v)
+		}
+	}
+	if v := q.Get("level"); v != "" {
+		level, err = strconv.ParseFloat(v, 64)
+		if err != nil || level < 0 || level >= 1 {
+			return opt, level, wantStats, fmt.Errorf("invalid level %q (want [0, 1))", v)
+		}
+	}
+	if v := q.Get("stats"); v != "" {
+		wantStats, err = strconv.ParseBool(v)
+		if err != nil {
+			return opt, level, wantStats, fmt.Errorf("invalid stats %q", v)
+		}
+	}
+	return opt, level, wantStats, nil
+}
+
+// bodyKind resolves the request body codec ("pnm" or "png") from the
+// Content-Type, falling back to magic-number sniffing for an absent or
+// generic type.
+func bodyKind(contentType string, body *bufio.Reader) (string, error) {
+	ct := contentType
+	if ct != "" {
+		if parsed, _, err := mime.ParseMediaType(ct); err == nil {
+			ct = parsed
+		}
+	}
+	switch ct {
+	case ctPBM, ctPGM, ctPNM:
+		return "pnm", nil
+	case ctPNG:
+		return "png", nil
+	case "", "application/octet-stream", "application/x-www-form-urlencoded":
+		// The last is curl's --data-binary default; nobody posts real form
+		// data here, so sniff it like an untyped upload.
+		magic, err := body.Peek(2)
+		if err != nil {
+			return "", fmt.Errorf("cannot sniff image format: %v", err)
+		}
+		if magic[0] == 0x89 {
+			return "png", nil
+		}
+		if magic[0] == 'P' && magic[1] >= '1' && magic[1] <= '5' {
+			return "pnm", nil
+		}
+		return "", fmt.Errorf("unrecognized image format (magic %q)", magic)
+	default:
+		return "", fmt.Errorf("unsupported Content-Type %q (want %s, %s or %s)", contentType, ctPBM, ctPGM, ctPNG)
+	}
+}
+
+// negotiateAccept picks the response format from an Accept header: the first
+// supported media range wins, an empty header (or */*) selects JSON, and a
+// header offering nothing the service speaks reports !ok (406).
+func negotiateAccept(header string) (string, bool) {
+	if strings.TrimSpace(header) == "" {
+		return ctJSON, true
+	}
+	for _, part := range strings.Split(header, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case ctJSON, "application/*", "*/*":
+			return ctJSON, true
+		case ctPGM, ctPNM:
+			return ctPGM, true
+		case ctPNG, "image/*":
+			return ctPNG, true
+		case ctCCL:
+			return ctCCL, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics is the engine's live counter set. Everything is atomic so the hot
+// path never takes a lock to account a request.
+type metrics struct {
+	requests   atomic.Int64 // Label calls, admitted or not
+	completed  atomic.Int64 // successful labelings
+	rejected   atomic.Int64 // ErrQueueFull + ErrClosed rejections
+	errors     atomic.Int64 // failed labelings (bad options, canceled jobs)
+	canceled   atomic.Int64 // callers that gave up waiting (ctx done)
+	inFlight   atomic.Int64 // labelings running right now
+	pixels     atomic.Int64 // pixels labeled, cumulative
+	components atomic.Int64 // components found, cumulative
+	scanNs     atomic.Int64 // cumulative PhaseTimes.Scan
+	mergeNs    atomic.Int64 // cumulative PhaseTimes.Merge
+	flattenNs  atomic.Int64 // cumulative PhaseTimes.Flatten
+	relabelNs  atomic.Int64 // cumulative PhaseTimes.Relabel
+}
+
+// Snapshot is a point-in-time copy of the engine's counters.
+type Snapshot struct {
+	Requests   int64 `json:"requests"`
+	Completed  int64 `json:"completed"`
+	Rejected   int64 `json:"rejected"`
+	Errors     int64 `json:"errors"`
+	Canceled   int64 `json:"canceled"`
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+	Workers    int64 `json:"workers"`
+	Pixels     int64 `json:"pixels"`
+	Components int64 `json:"components"`
+	ScanNs     int64 `json:"scan_ns"`
+	MergeNs    int64 `json:"merge_ns"`
+	FlattenNs  int64 `json:"flatten_ns"`
+	RelabelNs  int64 `json:"relabel_ns"`
+}
+
+// Snapshot copies the current counters. QueueDepth is the number of requests
+// waiting in the queue at the instant of the call.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:   e.metrics.requests.Load(),
+		Completed:  e.metrics.completed.Load(),
+		Rejected:   e.metrics.rejected.Load(),
+		Errors:     e.metrics.errors.Load(),
+		Canceled:   e.metrics.canceled.Load(),
+		InFlight:   e.metrics.inFlight.Load(),
+		QueueDepth: int64(len(e.queue)),
+		Workers:    int64(e.workers),
+		Pixels:     e.metrics.pixels.Load(),
+		Components: e.metrics.components.Load(),
+		ScanNs:     e.metrics.scanNs.Load(),
+		MergeNs:    e.metrics.mergeNs.Load(),
+		FlattenNs:  e.metrics.flattenNs.Load(),
+		RelabelNs:  e.metrics.relabelNs.Load(),
+	}
+}
+
+// WriteTo renders the snapshot in the Prometheus text exposition format.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(kind, name string, v int64) error {
+		n, err := fmt.Fprintf(w, "# TYPE ccserve_%s %s\nccserve_%s %d\n", name, kind, name, v)
+		total += int64(n)
+		return err
+	}
+	for _, m := range []struct {
+		kind, name string
+		v          int64
+	}{
+		{"counter", "requests_total", s.Requests},
+		{"counter", "completed_total", s.Completed},
+		{"counter", "rejected_total", s.Rejected},
+		{"counter", "errors_total", s.Errors},
+		{"counter", "canceled_total", s.Canceled},
+		{"gauge", "in_flight", s.InFlight},
+		{"gauge", "queue_depth", s.QueueDepth},
+		{"gauge", "workers", s.Workers},
+		{"counter", "pixels_total", s.Pixels},
+		{"counter", "components_total", s.Components},
+		{"counter", "phase_scan_ns_total", s.ScanNs},
+		{"counter", "phase_merge_ns_total", s.MergeNs},
+		{"counter", "phase_flatten_ns_total", s.FlattenNs},
+		{"counter", "phase_relabel_ns_total", s.RelabelNs},
+	} {
+		if err := emit(m.kind, m.name, m.v); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

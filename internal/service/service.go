@@ -1,0 +1,27 @@
+// Package service is the operational layer around the labeling algorithms: a
+// long-lived Engine that runs paremsp.LabelInto on a bounded worker pool with
+// a request queue, backpressure, and sync.Pool-based reuse of image and
+// label-map rasters, plus an http.Handler exposing it as a labeling service.
+//
+// The engine admits at most Workers in-flight labelings plus QueueDepth
+// queued ones; beyond that, Label fails fast with ErrQueueFull so callers
+// (and the HTTP layer, which maps it to 429) shed load instead of queuing
+// unboundedly. Rasters and union-find scratch flow through pools, so
+// sustained traffic does not re-allocate per request: a request borrows an
+// image from the pool, decodes into it, labels into a pooled LabelMap via
+// the buffer-reusing *Into entry points, and returns both when the response
+// has been written.
+//
+// The HTTP surface is:
+//
+//	POST /v1/label  body = PBM/PGM (Netpbm) or PNG, negotiated via
+//	                Content-Type (sniffed when absent); query parameters
+//	                alg, threads, conn, level select per-request options.
+//	                The response format follows Accept: JSON component
+//	                stats (default), a PGM or PNG label map, or a CCL1
+//	                label stream (application/x-ccl).
+//	GET  /healthz   liveness probe.
+//	GET  /metrics   Prometheus-style text: requests, completions,
+//	                rejections, queue depth, and cumulative per-phase
+//	                scan/merge/flatten/relabel nanoseconds.
+package service

@@ -228,6 +228,28 @@ func writeHeader(w io.Writer, width, height, components int) error {
 	return err
 }
 
+// WriteLabels encodes an in-memory label map as a CCL1 label stream with
+// component count n in the header — the same format LabelPBM produces, so
+// services can hand in-memory labelings to consumers of the streaming
+// labeler's output.
+func WriteLabels(out io.Writer, lm *binimg.LabelMap, n int) error {
+	bw := bufio.NewWriterSize(out, 1<<16)
+	if err := writeHeader(bw, lm.Width, lm.Height, n); err != nil {
+		return err
+	}
+	rowBytes := make([]byte, 4*lm.Width)
+	for y := 0; y < lm.Height; y++ {
+		row := lm.L[y*lm.Width : (y+1)*lm.Width]
+		for x, v := range row {
+			binary.LittleEndian.PutUint32(rowBytes[4*x:], uint32(v))
+		}
+		if _, err := bw.Write(rowBytes); err != nil {
+			return fmt.Errorf("stream: writing row %d: %w", y, err)
+		}
+	}
+	return bw.Flush()
+}
+
 // ReadLabels decodes a CCL1 label stream into a label map, returning the map
 // and the component count from the header.
 func ReadLabels(r io.Reader) (*binimg.LabelMap, int, error) {

@@ -24,6 +24,11 @@ type LabelMap = binimg.LabelMap
 // LabelID is the element type of LabelMap.L and Component.Label (int32).
 type LabelID = binimg.Label
 
+// Bitmap is the bit-packed binary raster (1 bit per pixel, 64-bit words,
+// rows padded to whole words) consumed natively by the bit-packed algorithms
+// AlgBREMSP and AlgPBREMSP.
+type Bitmap = binimg.Bitmap
+
 // Component carries per-component statistics (area, bounding box, centroid).
 type Component = stats.Component
 
@@ -34,6 +39,9 @@ type PhaseTimes = core.PhaseTimes
 
 // NewImage returns a zeroed binary image.
 func NewImage(width, height int) *Image { return binimg.New(width, height) }
+
+// NewBitmap returns a zeroed bit-packed binary raster.
+func NewBitmap(width, height int) *Bitmap { return binimg.NewBitmap(width, height) }
 
 // ParseImage builds an image from ASCII art ('#'/'1' foreground, '.'/'0'/' '
 // background), convenient in tests and examples.
@@ -52,6 +60,17 @@ func DecodePNM(r io.Reader, level float64) (*Image, error) { return pnm.Decode(r
 
 // DecodePNG reads a PNG stream and binarizes its luminance at level.
 func DecodePNG(r io.Reader, level float64) (*Image, error) { return pnm.DecodePNG(r, level) }
+
+// DecodePBMBitmap reads a raw PBM (P4) stream straight into a bit-packed
+// bitmap — P4 rows are already packed, so no byte raster is materialized.
+// Pair it with LabelBitmap for the all-packed ingest path.
+func DecodePBMBitmap(r io.Reader) (*Bitmap, error) {
+	bm := &Bitmap{}
+	if err := pnm.DecodePBMBitmapInto(r, bm); err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
 
 // EncodePBM writes an image as PBM (raw P4 if raw, else plain P1).
 func EncodePBM(w io.Writer, img *Image, raw bool) error { return pnm.EncodePBM(w, img, raw) }
@@ -77,6 +96,14 @@ const (
 	// AlgCCLREMSP is the paper's second sequential algorithm: decision-tree
 	// scan + REM's union-find with splicing.
 	AlgCCLREMSP Algorithm = "cclremsp"
+	// AlgBREMSP is the bit-packed sequential algorithm (beyond the paper):
+	// 1-bit-per-pixel raster, word-parallel run extraction, union-find calls
+	// per run, run-by-run final labeling.
+	AlgBREMSP Algorithm = "bremsp"
+	// AlgPBREMSP is the parallel bit-packed algorithm: BREMSP chunk scans
+	// with PAREMSP's disjoint label ranges, run-granular boundary merges and
+	// parallel run-by-run labeling.
+	AlgPBREMSP Algorithm = "pbremsp"
 	// AlgCCLLRPC is Wu-Otoo-Suzuki: decision-tree scan + link-by-rank with
 	// path compression.
 	AlgCCLLRPC Algorithm = "ccllrpc"
@@ -99,7 +126,8 @@ const (
 // sweep drivers.
 func Algorithms() []Algorithm {
 	out := []Algorithm{
-		AlgPAREMSP, AlgAREMSP, AlgCCLREMSP, AlgCCLLRPC, AlgARUN, AlgRUN,
+		AlgPAREMSP, AlgAREMSP, AlgCCLREMSP, AlgBREMSP, AlgPBREMSP,
+		AlgCCLLRPC, AlgARUN, AlgRUN,
 		AlgClassic, AlgMultiPass, AlgSuzuki, AlgFloodFill,
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -129,7 +157,8 @@ type Result struct {
 	Labels *LabelMap
 	// NumComponents is the number of connected components found.
 	NumComponents int
-	// Phases holds PAREMSP's per-phase times (zero for other algorithms).
+	// Phases holds the per-phase times of the parallel algorithms (PAREMSP
+	// and PBREMSP); zero for the sequential algorithms and baselines.
 	Phases PhaseTimes
 }
 
@@ -208,6 +237,24 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 		}
 		n = core.CCLREMSPInto(img, dst, sc)
 		lm = dst
+	case AlgBREMSP:
+		if dst == nil {
+			dst = &LabelMap{}
+		}
+		n = core.BREMSPInto(img, dst, sc)
+		lm = dst
+	case AlgPBREMSP:
+		copt := core.Options{Threads: opt.Threads}
+		if opt.UseCASMerger {
+			copt.Merger = core.MergerCAS
+		}
+		if dst == nil {
+			dst = &LabelMap{}
+		}
+		var times core.PhaseTimes
+		n, times = core.PBREMSPTimedInto(img, dst, sc, copt)
+		lm = dst
+		res.Phases = times
 	case AlgCCLLRPC:
 		lm, n = baseline.CCLLRPC(img)
 	case AlgARUN:
@@ -243,6 +290,49 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 	}
 	res.Labels = lm
 	res.NumComponents = n
+	return res, nil
+}
+
+// LabelBitmap runs a bit-packed algorithm directly over a packed bitmap.
+func LabelBitmap(bm *Bitmap, opt Options) (*Result, error) {
+	return LabelBitmapInto(bm, nil, nil, opt)
+}
+
+// LabelBitmapInto is LabelBitmap writing into caller-provided buffers (see
+// LabelInto for the dst/sc contract). Only the bit-packed algorithms accept a
+// packed raster: Algorithm must be AlgBREMSP or AlgPBREMSP (default
+// AlgPBREMSP), and connectivity must be 8. For any other algorithm, unpack
+// with Bitmap.ToImage and call LabelInto.
+func LabelBitmapInto(bm *Bitmap, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
+	if bm == nil {
+		return nil, fmt.Errorf("paremsp: nil bitmap")
+	}
+	alg := opt.Algorithm
+	if alg == "" {
+		alg = AlgPBREMSP
+	}
+	if opt.Connectivity != 0 && opt.Connectivity != 8 {
+		return nil, fmt.Errorf("paremsp: algorithm %q supports only 8-connectivity", alg)
+	}
+	if dst == nil {
+		dst = &LabelMap{}
+	}
+	res := &Result{Labels: dst}
+	switch alg {
+	case AlgBREMSP:
+		res.NumComponents = core.BREMSPBitmapInto(bm, dst, sc)
+	case AlgPBREMSP:
+		copt := core.Options{Threads: opt.Threads}
+		if opt.UseCASMerger {
+			copt.Merger = core.MergerCAS
+		}
+		var times core.PhaseTimes
+		res.NumComponents, times = core.PBREMSPBitmapTimedInto(bm, dst, sc, copt)
+		res.Phases = times
+	default:
+		return nil, fmt.Errorf("paremsp: algorithm %q cannot label a packed bitmap (want %q or %q)",
+			alg, AlgBREMSP, AlgPBREMSP)
+	}
 	return res, nil
 }
 

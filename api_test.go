@@ -125,8 +125,8 @@ func TestLabelErrors(t *testing.T) {
 
 func TestAlgorithmsSortedAndComplete(t *testing.T) {
 	algs := paremsp.Algorithms()
-	if len(algs) != 10 {
-		t.Fatalf("Algorithms() returned %d entries, want 10", len(algs))
+	if len(algs) != 12 {
+		t.Fatalf("Algorithms() returned %d entries, want 12", len(algs))
 	}
 	for i := 1; i < len(algs); i++ {
 		if algs[i-1] >= algs[i] {
@@ -264,5 +264,51 @@ func TestLabelIntoReusesBuffers(t *testing.T) {
 	}
 	if err := paremsp.Validate(small, res.Labels, res.NumComponents, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLabelBitmap(t *testing.T) {
+	img := testImage(t)
+	var buf bytes.Buffer
+	if err := paremsp.EncodePBM(&buf, img, true); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := paremsp.DecodePBMBitmap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := paremsp.Label(img, paremsp.Options{Algorithm: paremsp.AlgAREMSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []paremsp.Algorithm{"", paremsp.AlgBREMSP, paremsp.AlgPBREMSP} {
+		res, err := paremsp.LabelBitmap(bm, paremsp.Options{Algorithm: alg, Threads: 2})
+		if err != nil {
+			t.Fatalf("%q: %v", alg, err)
+		}
+		if res.NumComponents != ref.NumComponents {
+			t.Fatalf("%q: %d components, want %d", alg, res.NumComponents, ref.NumComponents)
+		}
+		if err := paremsp.Equivalent(res.Labels, ref.Labels); err != nil {
+			t.Fatalf("%q: %v", alg, err)
+		}
+	}
+	if res, err := paremsp.LabelBitmap(bm, paremsp.Options{Algorithm: paremsp.AlgPBREMSP, Threads: 2}); err != nil {
+		t.Fatal(err)
+	} else if res.Phases.Total() <= 0 {
+		t.Fatalf("PBREMSP phases not recorded: %+v", res.Phases)
+	}
+}
+
+func TestLabelBitmapErrors(t *testing.T) {
+	bm := paremsp.NewBitmap(4, 4)
+	if _, err := paremsp.LabelBitmap(nil, paremsp.Options{}); err == nil {
+		t.Error("nil bitmap accepted")
+	}
+	if _, err := paremsp.LabelBitmap(bm, paremsp.Options{Algorithm: paremsp.AlgClassic}); err == nil {
+		t.Error("byte-raster algorithm accepted for a packed bitmap")
+	}
+	if _, err := paremsp.LabelBitmap(bm, paremsp.Options{Connectivity: 4}); err == nil {
+		t.Error("4-connectivity accepted for bit-packed labeling")
 	}
 }

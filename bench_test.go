@@ -10,6 +10,7 @@
 package paremsp_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/pnm"
 	"repro/internal/scan"
 	"repro/internal/unionfind"
 )
@@ -437,6 +439,113 @@ func BenchmarkLabelInto(b *testing.B) {
 		sc := &paremsp.Scratch{}
 		for i := 0; i < b.N; i++ {
 			if _, err := paremsp.LabelInto(img, dst, sc, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBitScan compares the byte-per-pixel scans against the bit-packed
+// word-parallel run-scan pipeline. The landcover raster is the mid-density
+// (~0.5) regime of the paper's NLCD class; the noise sweep covers the density
+// classes from nearly-empty to nearly-full, where run lengths (and so the
+// bit-scan advantage) vary the most.
+func BenchmarkBitScan(b *testing.B) {
+	seqAlgs := []struct {
+		name string
+		run  func(*binimg.Image) (*binimg.LabelMap, int)
+	}{
+		{"cclremsp", core.CCLREMSP},
+		{"aremsp", core.AREMSP},
+		{"bremsp", core.BREMSP},
+	}
+	land := dataset.LandCover(1024, 1024, 32, 0.5, 1)
+	for _, alg := range seqAlgs {
+		b.Run("landcover1024/"+alg.name, func(b *testing.B) {
+			b.SetBytes(int64(len(land.Pix)))
+			for i := 0; i < b.N; i++ {
+				alg.run(land)
+			}
+		})
+	}
+	for _, density := range []float64{0.01, 0.10, 0.50, 0.90, 0.99} {
+		img := dataset.UniformNoise(1024, 512, density, 9)
+		for _, alg := range seqAlgs {
+			b.Run(fmt.Sprintf("noise/density=%.2f/%s", density, alg.name), func(b *testing.B) {
+				b.SetBytes(int64(len(img.Pix)))
+				for i := 0; i < b.N; i++ {
+					alg.run(img)
+				}
+			})
+		}
+	}
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("landcover1024/paremsp/threads=%d", threads), func(b *testing.B) {
+			b.SetBytes(int64(len(land.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PAREMSP(land, threads)
+			}
+		})
+		b.Run(fmt.Sprintf("landcover1024/pbremsp/threads=%d", threads), func(b *testing.B) {
+			b.SetBytes(int64(len(land.Pix)))
+			for i := 0; i < b.N; i++ {
+				core.PBREMSP(land, threads)
+			}
+		})
+	}
+}
+
+// BenchmarkBitScanPhases isolates the scan phase the paper's Fig. 5a plots
+// ("local" speedup): PBREMSP's packed run scan against PAREMSP's pair-row
+// byte scan at equal thread counts, reported via PhaseTimes.
+func BenchmarkBitScanPhases(b *testing.B) {
+	img := dataset.LandCover(1024, 1024, 32, 0.5, 1)
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("paremsp/threads=%d", threads), func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			var scanNs float64
+			for i := 0; i < b.N; i++ {
+				_, _, times := core.PAREMSPTimed(img, core.Options{Threads: threads})
+				scanNs += float64(times.Scan.Nanoseconds())
+			}
+			b.ReportMetric(scanNs/float64(b.N), "local-ns/op")
+		})
+		b.Run(fmt.Sprintf("pbremsp/threads=%d", threads), func(b *testing.B) {
+			b.SetBytes(int64(len(img.Pix)))
+			var scanNs float64
+			for i := 0; i < b.N; i++ {
+				_, _, times := core.PBREMSPTimed(img, core.Options{Threads: threads})
+				scanNs += float64(times.Scan.Nanoseconds())
+			}
+			b.ReportMetric(scanNs/float64(b.N), "local-ns/op")
+		})
+	}
+}
+
+// BenchmarkP4Ingest compares the two raw-PBM decode paths feeding the
+// service: unpack-to-bytes (pnm.DecodeInto) vs packed-to-packed
+// (pnm.DecodePBMBitmapInto).
+func BenchmarkP4Ingest(b *testing.B) {
+	img := dataset.LandCover(1024, 1024, 32, 0.5, 1)
+	var buf bytes.Buffer
+	if err := pnm.EncodePBM(&buf, img, true); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.Run("bytes", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		dst := &binimg.Image{}
+		for i := 0; i < b.N; i++ {
+			if err := pnm.DecodeInto(bytes.NewReader(raw), 0.5, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bitmap", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		dst := &binimg.Bitmap{}
+		for i := 0; i < b.N; i++ {
+			if err := pnm.DecodePBMBitmapInto(bytes.NewReader(raw), dst); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -6,6 +6,12 @@
 //
 //	paperbench [-exp all|table2|table3|table4|fig3|fig4|fig5|weak]
 //	           [-scale 0.02] [-repeats 3] [-warmup 1]
+//	paperbench -json report.json [-scale 0.05]
+//
+// -json skips the tables and instead writes a machine-readable benchmark
+// report (per-algorithm ns/op, allocs/op, bytes/op per dataset class);
+// BENCH_seed.json at the repository root is such a report at -scale 0.05,
+// kept as the baseline for perf-trajectory diffs.
 //
 // scale shrinks the pixel counts linearly: the paper's 465.2 MB NLCD image
 // becomes 465.2*scale MB. At -scale 1 the sweep needs several GB of memory

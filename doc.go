@@ -30,6 +30,30 @@
 // pixel (1 = object, 0 = background), connectivity is 8-connectedness, and
 // the result's label 0 means background.
 //
+// # Algorithms
+//
+//	paremsp    the paper's parallel algorithm (default); fastest on multi-core
+//	aremsp     the paper's best sequential algorithm (pair-row scan + REMSP)
+//	cclremsp   decision-tree scan + REMSP (the paper's second sequential)
+//	bremsp     bit-packed run scan + REMSP (beyond the paper); fastest
+//	           sequential on long-run/blobby rasters and raw-PBM input
+//	pbremsp    parallel bremsp (PAREMSP's chunk/merge machinery at run
+//	           granularity); fastest overall when input is already packed
+//	ccllrpc    Wu-Otoo-Suzuki baseline (decision tree + rank/PC union-find)
+//	arun, run  He-Chao-Suzuki rtable baselines
+//	classic    Rosenfeld all-neighbor two-pass scan
+//	multipass  repeated forward/backward propagation
+//	suzuki     table-accelerated multi-pass
+//	floodfill  explicit-stack reference labeler
+//
+// The bit-packed pair (AlgBREMSP, AlgPBREMSP) operates on a Bitmap — 1 bit
+// per pixel, 64-bit words, rows padded to whole words — extracting foreground
+// runs with math/bits and calling the union-find once per run instead of per
+// pixel, then writing the final label map run-by-run. LabelBitmap /
+// LabelBitmapInto accept the packed raster directly, and DecodePBMBitmap
+// fills one from raw PBM (P4) without materializing a byte raster, since P4
+// rows are already bit-packed.
+//
 // # Buffer reuse and the service layer
 //
 // LabelInto is Label writing into caller-provided buffers: a LabelMap

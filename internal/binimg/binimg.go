@@ -7,6 +7,11 @@
 // paper's convention ("we consider value of object pixel as 1 and value of
 // background pixel as 0") and keeps the scan-phase inner loops branch-cheap:
 // neighbor tests compile to a single byte load and compare.
+//
+// Bitmap is the bit-packed alternative (1 bit per pixel, 64-bit words, rows
+// padded to whole words) consumed by the run-based scans: 64 pixels per word
+// load, runs extracted with math/bits. Its padding invariant — the tail bits
+// of each row's last word are always 0 — is documented on the type.
 package binimg
 
 import (

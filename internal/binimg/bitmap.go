@@ -1,0 +1,236 @@
+package binimg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Run is a maximal horizontal span of foreground pixels within one row:
+// pixels [Start, End) of the row are foreground, pixel Start-1 and pixel End
+// (when in range) are background. Label is the provisional label a run-based
+// scan assigns to the run (0 until assigned).
+type Run struct {
+	Start int32
+	End   int32
+	Label Label
+}
+
+// Bitmap is a bit-packed binary raster: one bit per pixel, 64 pixels per
+// word, each row padded to a whole number of words. Row y occupies
+// Words[y*WordsPerRow : (y+1)*WordsPerRow]; pixel x of the row is bit x%64
+// (LSB-first) of word x/64, so a row scans left-to-right with
+// bits.TrailingZeros64.
+//
+// Padding invariant: the tail bits of each row's last word (bit positions
+// >= Width%64, when Width is not a multiple of 64) are always 0. Every
+// constructor and mutator in this package maintains the invariant; code that
+// writes Words directly must mask the last word of each row with TailMask.
+// Run extraction relies on it: a run can only remain open across the
+// whole-word loop when the row ends exactly on a word boundary.
+type Bitmap struct {
+	Width       int
+	Height      int
+	WordsPerRow int
+	Words       []uint64
+}
+
+// NewBitmap returns a zeroed (all-background) bitmap of the given dimensions.
+// It panics if either dimension is negative.
+func NewBitmap(width, height int) *Bitmap {
+	b := &Bitmap{}
+	b.Reset(width, height)
+	return b
+}
+
+// Reset reshapes the bitmap to width x height and zeroes every pixel, reusing
+// the existing word buffer when it has capacity. Long-lived servers reset
+// pooled bitmaps between requests instead of allocating one per request.
+// It panics if either dimension is negative.
+func (b *Bitmap) Reset(width, height int) {
+	if width < 0 || height < 0 {
+		panic(fmt.Sprintf("binimg: negative dimensions %dx%d", width, height))
+	}
+	wpr := (width + 63) >> 6
+	n := wpr * height
+	if cap(b.Words) < n {
+		b.Words = make([]uint64, n)
+	} else {
+		b.Words = b.Words[:n]
+		clear(b.Words)
+	}
+	b.Width, b.Height, b.WordsPerRow = width, height, wpr
+}
+
+// TailMask returns the mask of valid bits in the last word of each row: all
+// ones when Width is a multiple of 64, otherwise the low Width%64 bits.
+func (b *Bitmap) TailMask() uint64 {
+	if r := uint(b.Width) & 63; r != 0 {
+		return (1 << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// Row returns the packed words of row y.
+func (b *Bitmap) Row(y int) []uint64 {
+	return b.Words[y*b.WordsPerRow : (y+1)*b.WordsPerRow]
+}
+
+// At returns the pixel at (x, y). It panics on out-of-range coordinates.
+func (b *Bitmap) At(x, y int) uint8 {
+	if x < 0 || x >= b.Width || y < 0 || y >= b.Height {
+		panic(fmt.Sprintf("binimg: Bitmap.At(%d,%d) out of range %dx%d", x, y, b.Width, b.Height))
+	}
+	return uint8(b.Words[y*b.WordsPerRow+x>>6] >> (uint(x) & 63) & 1)
+}
+
+// Set writes the pixel at (x, y). It panics on out-of-range coordinates or a
+// value other than 0 or 1.
+func (b *Bitmap) Set(x, y int, v uint8) {
+	if x < 0 || x >= b.Width || y < 0 || y >= b.Height {
+		panic(fmt.Sprintf("binimg: Bitmap.Set(%d,%d) out of range %dx%d", x, y, b.Width, b.Height))
+	}
+	if v > 1 {
+		panic(fmt.Sprintf("binimg: Bitmap.Set value %d, want 0 or 1", v))
+	}
+	w := &b.Words[y*b.WordsPerRow+x>>6]
+	bit := uint64(1) << (uint(x) & 63)
+	if v != 0 {
+		*w |= bit
+	} else {
+		*w &^= bit
+	}
+}
+
+// lsbGather packs the low bit of each of the 8 bytes of v into the low 8 bits
+// of the result (byte k's LSB becomes bit k). The multiply routes bit 8k to
+// bit 56-7k+8k = 56+k; the shift drops everything below.
+func lsbGather(v uint64) uint64 {
+	return (v & 0x0101010101010101) * 0x0102040810204080 >> 56
+}
+
+// FromImage reshapes the bitmap to im's dimensions and packs its pixels,
+// eight at a time via the byte-gather multiply above.
+func (b *Bitmap) FromImage(im *Image) {
+	b.Reset(im.Width, im.Height)
+	for y := 0; y < im.Height; y++ {
+		b.packRow(im, y)
+	}
+}
+
+// FromImageRows packs rows [y0, y1) of im into a bitmap already Reset to im's
+// dimensions, leaving other rows untouched. Rows never share words, so
+// concurrent callers packing disjoint row ranges are data-race-free; PBREMSP's
+// chunk scans pack their own rows this way.
+func (b *Bitmap) FromImageRows(im *Image, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		b.packRow(im, y)
+	}
+}
+
+func (b *Bitmap) packRow(im *Image, y int) {
+	w := im.Width
+	row := im.Pix[y*w : (y+1)*w]
+	words := b.Words[y*b.WordsPerRow:]
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		m := lsbGather(binary.LittleEndian.Uint64(row[x : x+8]))
+		words[x>>6] |= m << (uint(x) & 63)
+	}
+	for ; x < w; x++ {
+		if row[x] != 0 {
+			words[x>>6] |= 1 << (uint(x) & 63)
+		}
+	}
+}
+
+// ToImage unpacks the bitmap into a fresh one-byte-per-pixel image.
+func (b *Bitmap) ToImage() *Image {
+	im := &Image{}
+	b.ToImageInto(im)
+	return im
+}
+
+// ToImageInto is ToImage into a caller-provided image, reshaped with Reset so
+// its pixel buffer is reused when large enough.
+func (b *Bitmap) ToImageInto(im *Image) {
+	im.Reset(b.Width, b.Height)
+	w := b.Width
+	for y := 0; y < b.Height; y++ {
+		row := im.Pix[y*w : (y+1)*w]
+		words := b.Words[y*b.WordsPerRow:]
+		for x := range row {
+			row[x] = uint8(words[x>>6] >> (uint(x) & 63) & 1)
+		}
+	}
+}
+
+// AppendRowRuns appends the foreground runs of row y to dst (Label zero) and
+// returns the extended slice. Each word is consumed with two math/bits
+// operations per run boundary — TrailingZeros64 finds the next run start,
+// TrailingZeros64 of the complement finds its end — so a row costs O(words +
+// runs) instead of O(pixels).
+func (b *Bitmap) AppendRowRuns(dst []Run, y int) []Run {
+	words := b.Words[y*b.WordsPerRow : (y+1)*b.WordsPerRow]
+	open := -1 // start of a run that crossed the previous word boundary
+	for wi, w64 := range words {
+		base := wi << 6
+		if open >= 0 {
+			if w64 == ^uint64(0) {
+				continue // the run spans this entire word
+			}
+			z := bits.TrailingZeros64(^w64)
+			dst = append(dst, Run{Start: int32(open), End: int32(base + z)})
+			open = -1
+			w64 &^= (1 << uint(z)) - 1
+		}
+		for w64 != 0 {
+			s := bits.TrailingZeros64(w64)
+			n := bits.TrailingZeros64(^(w64 >> uint(s)))
+			if s+n >= 64 {
+				open = base + s
+				break
+			}
+			dst = append(dst, Run{Start: int32(base + s), End: int32(base + s + n)})
+			w64 &^= ((1 << uint(n)) - 1) << uint(s)
+		}
+	}
+	if open >= 0 {
+		// By the padding invariant this only happens when the run reaches the
+		// final valid bit of the row, so it ends at Width.
+		dst = append(dst, Run{Start: int32(open), End: int32(b.Width)})
+	}
+	return dst
+}
+
+// ForegroundCount returns the number of object pixels, one OnesCount64 per
+// word (the padding invariant keeps tail bits out of the count).
+func (b *Bitmap) ForegroundCount() int {
+	n := 0
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Density returns the fraction of pixels that are foreground, in [0, 1].
+// An empty bitmap has density 0.
+func (b *Bitmap) Density() float64 {
+	if b.Width == 0 || b.Height == 0 {
+		return 0
+	}
+	return float64(b.ForegroundCount()) / float64(b.Width*b.Height)
+}
+
+// Equal reports whether two bitmaps have identical dimensions and pixels.
+func (b *Bitmap) Equal(other *Bitmap) bool {
+	if b.Width != other.Width || b.Height != other.Height {
+		return false
+	}
+	for i, w := range b.Words {
+		if w != other.Words[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package binimg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitmapWidths exercises the word-boundary cases: sub-word, exact-word,
+// word+1, multi-word and odd widths.
+var bitmapWidths = []int{1, 2, 3, 7, 31, 63, 64, 65, 127, 128, 129, 200}
+
+func randomImage(w, h int, density float64, seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := New(w, h)
+	for i := range im.Pix {
+		if rng.Float64() < density {
+			im.Pix[i] = 1
+		}
+	}
+	return im
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	for _, w := range bitmapWidths {
+		for _, h := range []int{1, 2, 5, 64} {
+			for _, density := range []float64{0, 0.1, 0.5, 0.9, 1} {
+				im := randomImage(w, h, density, int64(w*1000+h))
+				bm := &Bitmap{}
+				bm.FromImage(im)
+				got := bm.ToImage()
+				if !im.Equal(got) {
+					t.Fatalf("%dx%d density %.1f: round trip mismatch", w, h, density)
+				}
+			}
+		}
+	}
+}
+
+func TestBitmapPaddingInvariant(t *testing.T) {
+	for _, w := range bitmapWidths {
+		im := randomImage(w, 3, 1, int64(w))
+		bm := &Bitmap{}
+		bm.FromImage(im)
+		tail := bm.TailMask()
+		for y := 0; y < bm.Height; y++ {
+			row := bm.Row(y)
+			if last := row[len(row)-1]; last&^tail != 0 {
+				t.Fatalf("width %d row %d: tail bits set: %064b", w, y, last)
+			}
+		}
+		if got, want := bm.ForegroundCount(), im.ForegroundCount(); got != want {
+			t.Fatalf("width %d: ForegroundCount %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestBitmapAtSet(t *testing.T) {
+	bm := NewBitmap(70, 3)
+	bm.Set(0, 0, 1)
+	bm.Set(63, 1, 1)
+	bm.Set(64, 1, 1)
+	bm.Set(69, 2, 1)
+	for _, p := range [][3]int{{0, 0, 1}, {63, 1, 1}, {64, 1, 1}, {69, 2, 1}, {1, 0, 0}, {65, 1, 0}} {
+		if got := bm.At(p[0], p[1]); got != uint8(p[2]) {
+			t.Errorf("At(%d,%d) = %d, want %d", p[0], p[1], got, p[2])
+		}
+	}
+	bm.Set(64, 1, 0)
+	if bm.At(64, 1) != 0 {
+		t.Error("Set(64,1,0) did not clear the pixel")
+	}
+}
+
+// naiveRuns extracts runs by per-pixel scanning of the byte raster.
+func naiveRuns(im *Image, y int) []Run {
+	var runs []Run
+	row := im.Pix[y*im.Width : (y+1)*im.Width]
+	x := 0
+	for x < im.Width {
+		if row[x] == 0 {
+			x++
+			continue
+		}
+		s := x
+		for x < im.Width && row[x] != 0 {
+			x++
+		}
+		runs = append(runs, Run{Start: int32(s), End: int32(x)})
+	}
+	return runs
+}
+
+func TestBitmapAppendRowRuns(t *testing.T) {
+	for _, w := range bitmapWidths {
+		for _, density := range []float64{0, 0.05, 0.3, 0.5, 0.8, 0.97, 1} {
+			im := randomImage(w, 8, density, int64(w)*31+int64(density*100))
+			bm := &Bitmap{}
+			bm.FromImage(im)
+			for y := 0; y < im.Height; y++ {
+				got := bm.AppendRowRuns(nil, y)
+				want := naiveRuns(im, y)
+				if len(got) != len(want) {
+					t.Fatalf("w=%d density=%.2f row %d: %d runs, want %d\n%v\n%v",
+						w, density, y, len(got), len(want), got, want)
+				}
+				for i := range got {
+					if got[i].Start != want[i].Start || got[i].End != want[i].End {
+						t.Fatalf("w=%d density=%.2f row %d run %d: [%d,%d), want [%d,%d)",
+							w, density, y, i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitmapResetReuse(t *testing.T) {
+	bm := NewBitmap(128, 4)
+	for i := range bm.Words {
+		bm.Words[i] = ^uint64(0)
+	}
+	bm.Reset(65, 2)
+	if bm.WordsPerRow != 2 || len(bm.Words) != 4 {
+		t.Fatalf("Reset(65,2): WordsPerRow=%d len=%d", bm.WordsPerRow, len(bm.Words))
+	}
+	for i, w := range bm.Words {
+		if w != 0 {
+			t.Fatalf("Reset left word %d = %x", i, w)
+		}
+	}
+	if bm.ForegroundCount() != 0 {
+		t.Fatal("Reset bitmap not empty")
+	}
+}
+
+func TestBitmapEmptyAndDensity(t *testing.T) {
+	bm := NewBitmap(0, 0)
+	if bm.Density() != 0 || bm.ForegroundCount() != 0 {
+		t.Fatal("empty bitmap should have zero density")
+	}
+	if runs := bm.AppendRowRuns(nil, 0); len(runs) != 0 {
+		t.Fatal("unexpected runs on empty bitmap")
+	}
+}

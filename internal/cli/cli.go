@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
@@ -270,6 +271,7 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 0, "default paremsp threads per request (0 = CPUs/workers)")
 	maxBytes := fs.Int64("max-bytes", 64<<20, "largest accepted image body in bytes")
 	level := fs.Float64("level", 0.5, "default binarization threshold for grayscale input, in (0, 1); per-request ?level= accepts [0, 1)")
+	alg := fs.String("alg", "", "default algorithm for requests without ?alg= (default paremsp): "+algList())
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -286,10 +288,18 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccserve: -level must be in (0, 1)")
 		return 2
 	}
+	if *alg != "" && !slices.Contains(paremsp.Algorithms(), paremsp.Algorithm(*alg)) {
+		fmt.Fprintf(stderr, "ccserve: unknown -alg %q (want %s)\n", *alg, algList())
+		return 2
+	}
 
 	eng := service.NewEngine(service.Config{Workers: *workers, QueueDepth: *queue, Threads: *threads})
 	srv := &http.Server{
-		Handler: service.NewHandler(eng, service.HandlerConfig{MaxImageBytes: *maxBytes, Level: *level}),
+		Handler: service.NewHandler(eng, service.HandlerConfig{
+			MaxImageBytes:    *maxBytes,
+			Level:            *level,
+			DefaultAlgorithm: paremsp.Algorithm(*alg),
+		}),
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -334,6 +344,7 @@ func PaperBench(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", experiments.DefaultConfig.Scale, "image-size scale factor (1.0 = paper sizes)")
 	repeats := fs.Int("repeats", experiments.DefaultConfig.Repeats, "timed repetitions per image")
 	warmup := fs.Int("warmup", experiments.DefaultConfig.Warmup, "untimed warmup runs per image")
+	jsonOut := fs.String("json", "", "write machine-readable per-algorithm ns/op + allocs to this file ('-' = stdout) instead of running -exp")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -346,6 +357,27 @@ func PaperBench(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := experiments.Config{Scale: *scale, Repeats: *repeats, Warmup: *warmup}
+
+	if *jsonOut != "" {
+		out := stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.BenchJSON(out, cfg); err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+		if *jsonOut != "-" {
+			fmt.Fprintf(stdout, "paperbench: benchmark report written to %s\n", *jsonOut)
+		}
+		return 0
+	}
 
 	runners := map[string]func(){
 		"table2":    func() { experiments.Table2(stdout, cfg) },

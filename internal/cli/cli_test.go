@@ -2,6 +2,7 @@ package cli_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	paremsp "repro"
 	"repro/internal/cli"
 	"repro/internal/dataset"
+	"repro/internal/experiments"
 	"repro/internal/stream"
 )
 
@@ -233,5 +235,58 @@ func TestCCServeBadFlags(t *testing.T) {
 		if code := cli.CCServe(args, &stdout, &stderr); code != 2 {
 			t.Fatalf("CCServe(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
 		}
+	}
+}
+
+func TestPaperBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errw bytes.Buffer
+	code := cli.PaperBench([]string{"-json", path, "-scale", "0.001", "-repeats", "1", "-warmup", "0"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiments.BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if report.Scale != 0.001 || len(report.Results) == 0 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+	seen := map[string]bool{}
+	for _, r := range report.Results {
+		seen[r.Algorithm] = true
+		if r.NsPerOp <= 0 || r.Pixels <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	for _, want := range []string{"ARemSP", "BREMSP", "PAREMSP", "PBREMSP"} {
+		if !seen[want] {
+			t.Fatalf("report missing algorithm %s (have %v)", want, seen)
+		}
+	}
+}
+
+func TestPaperBenchJSONStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli.PaperBench([]string{"-json", "-", "-scale", "0.001", "-repeats", "1", "-warmup", "0"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	var report experiments.BenchReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("stdout not JSON: %v", err)
+	}
+}
+
+func TestCCServeRejectsUnknownAlg(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := cli.CCServe([]string{"-alg", "nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown -alg") {
+		t.Fatalf("stderr: %s", stderr.String())
 	}
 }

@@ -1,0 +1,237 @@
+// Bit-packed variants of the paper's algorithms (beyond the paper): BREMSP is
+// AREMSP with the byte-per-pixel scan replaced by a word-parallel run scan
+// over a 1-bit-per-pixel raster, and PBREMSP parallelizes it with PAREMSP's
+// chunked disjoint-label-range / boundary-merge / flatten machinery. The scan
+// phase — which dominates PAREMSP's runtime (the paper's Fig. 5a plots its
+// speedup alone) — touches 64 pixels per word load and calls the union-find
+// sink per run instead of per pixel, and the labeling phase writes the final
+// raster run-by-run instead of pixel-by-pixel.
+
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/binimg"
+	"repro/internal/scan"
+	"repro/internal/unionfind"
+)
+
+// BREMSP is the bit-packed sequential algorithm: pack to 1 bpp, run-based
+// scan (sink per run), FLATTEN, run-by-run labeling. Returns the final label
+// map (consecutive labels 1..n, background 0) and n.
+func BREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
+	lm := &binimg.LabelMap{}
+	n := BREMSPInto(img, lm, nil)
+	return lm, n
+}
+
+// BREMSPInto is BREMSP labeling into a caller-provided label map (reshaped
+// with Reset) and drawing the bitmap, run and equivalence buffers from sc
+// (nil allocates fresh ones). Returns the component count.
+func BREMSPInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) int {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	bm := sc.bitmap()
+	bm.FromImage(img)
+	return BREMSPBitmapInto(bm, lm, sc)
+}
+
+// BREMSPBitmapInto is BREMSP over an already-packed bitmap — the entry point
+// for callers that hold the packed raster natively (the service's PBM P4 fast
+// path decodes straight into one, skipping the byte raster entirely).
+func BREMSPBitmapInto(bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch) int {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	lm.Reset(bm.Width, bm.Height)
+	if bm.Width == 0 || bm.Height == 0 {
+		return 0
+	}
+	sink := &RemSink{p: sc.parents(scan.MaxRunLabels(bm.Width, bm.Height))}
+	rs := sc.runSets(1)[0]
+	scan.Runs(bm, sink, 0, bm.Height, rs)
+	n := unionfind.Flatten(sink.p, sink.count)
+	relabelRuns(lm, sink.p, rs)
+	return int(n)
+}
+
+// PBREMSP labels img with the parallel bit-packed algorithm and default
+// options. Returns the final label map (consecutive labels 1..n, background
+// 0) and n.
+func PBREMSP(img *binimg.Image, threads int) (*binimg.LabelMap, int) {
+	lm := &binimg.LabelMap{}
+	n, _ := PBREMSPTimedInto(img, lm, nil, Options{Threads: threads})
+	return lm, n
+}
+
+// PBREMSPTimed is PBREMSP with explicit options and per-phase timings.
+func PBREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseTimes) {
+	lm := &binimg.LabelMap{}
+	n, times := PBREMSPTimedInto(img, lm, nil, opt)
+	return lm, n, times
+}
+
+// PBREMSPTimedInto is PBREMSP labeling into a caller-provided label map and
+// drawing every reusable buffer from sc. Each chunk packs its own rows into
+// the shared bitmap (rows never share words, so the packing is race-free)
+// before scanning them, so the packing cost parallelizes with the scan and is
+// reported inside the Scan phase.
+func PBREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	bm := sc.bitmap()
+	bm.Reset(img.Width, img.Height)
+	return pbremsp(bm, img, lm, sc, opt)
+}
+
+// PBREMSPBitmapTimedInto is PBREMSPTimedInto over an already-packed bitmap.
+func PBREMSPBitmapTimedInto(bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	return pbremsp(bm, nil, lm, sc, opt)
+}
+
+// pbremsp is the shared parallel driver. When src is non-nil each chunk packs
+// its rows of src into bm (already Reset) before scanning.
+//
+// Phase I divides the rows into Threads chunks and runs the run-based scan on
+// every chunk concurrently, each chunk recording its labeled runs into its
+// own RunSet. Chunk label ranges are disjoint (the chunk starting at row r
+// draws from r*RunLabelStride(w)), so the shared parent array needs no
+// synchronization during the scan. Phase II merges across chunk seams at run
+// granularity: the first-row runs of every chunk but the first are united
+// with the overlapping last-row runs of the chunk above using the concurrent
+// MERGER. Phase III runs the sparse FLATTEN; phase IV writes the final label
+// map run-by-run.
+func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	w, h := bm.Width, bm.Height
+	lm.Reset(w, h)
+	if w == 0 || h == 0 {
+		return 0, PhaseTimes{}
+	}
+	if threads > h {
+		threads = h
+	}
+	starts := rowChunkStarts(h, threads)
+
+	stride := Label(scan.RunLabelStride(w))
+	maxLabel := Label(h) * stride
+	p := sc.parents(int(maxLabel))
+	runSets := sc.runSets(threads)
+
+	var times PhaseTimes
+
+	// Phase I: concurrent chunk packs + run scans.
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < threads; c++ {
+		rowStart, rowEnd := starts[c], starts[c+1]
+		rs := runSets[c]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if src != nil {
+				bm.FromImageRows(src, rowStart, rowEnd)
+			}
+			sink := NewRemSinkShared(p, Label(rowStart)*stride)
+			scan.Runs(bm, sink, rowStart, rowEnd, rs)
+		}()
+	}
+	wg.Wait()
+	times.Scan = time.Since(t0)
+
+	// Phase II: run-granular boundary merges.
+	t0 = time.Now()
+	merge := mergeFunc(opt, p, sc)
+	mergeChunk := func(c int) {
+		row := starts[c]
+		scan.MergeRuns(runSets[c].RowRuns(row), runSets[c-1].RowRuns(row-1), merge)
+	}
+	if opt.SequentialBoundary {
+		for c := 1; c < threads; c++ {
+			mergeChunk(c)
+		}
+	} else {
+		for c := 1; c < threads; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mergeChunk(c)
+			}()
+		}
+		wg.Wait()
+	}
+	times.Merge = time.Since(t0)
+
+	// Phase III: FLATTEN over the sparse label space.
+	t0 = time.Now()
+	n := unionfind.FlattenSparse(p, maxLabel)
+	times.Flatten = time.Since(t0)
+
+	// Phase IV: run-by-run relabel, one goroutine per chunk.
+	t0 = time.Now()
+	if opt.SequentialRelabel || threads == 1 {
+		for c := 0; c < threads; c++ {
+			relabelRuns(lm, p, runSets[c])
+		}
+	} else {
+		for c := 0; c < threads; c++ {
+			rs := runSets[c]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				relabelRuns(lm, p, rs)
+			}()
+		}
+		wg.Wait()
+	}
+	times.Relabel = time.Since(t0)
+
+	return int(n), times
+}
+
+// rowChunkStarts splits h rows over threads chunks as evenly as possible
+// (len = threads+1; no row-pair constraint — the run scan is single-row).
+func rowChunkStarts(h, threads int) []int {
+	starts := make([]int, threads+1)
+	base, rem := h/threads, h%threads
+	row := 0
+	for c := 0; c < threads; c++ {
+		starts[c] = row
+		row += base
+		if c < rem {
+			row++
+		}
+	}
+	starts[threads] = h
+	return starts
+}
+
+// relabelRuns writes final labels into lm for every run of rs: one parent
+// lookup and one contiguous fill per run instead of a lookup per pixel
+// (labeling phase, run-granular).
+func relabelRuns(lm *binimg.LabelMap, p []Label, rs *scan.RunSet) {
+	l := lm.L
+	w := lm.Width
+	for i, rows := 0, rs.Rows(); i < rows; i++ {
+		y := rs.Row0 + i
+		base := y * w
+		for _, r := range rs.RowRuns(y) {
+			final := p[r.Label]
+			seg := l[base+int(r.Start) : base+int(r.End)]
+			for k := range seg {
+				seg[k] = final
+			}
+		}
+	}
+}

@@ -61,10 +61,14 @@ func (s *RemSink) Parents() []Label { return s.p }
 // Scratch holds the reusable equivalence buffers behind the *Into entry
 // points. A zero Scratch is ready to use; reusing one across calls amortizes
 // the parent-array allocation, the dominant non-raster allocation of every
-// REMSP algorithm. A Scratch must not be shared by concurrent labelings.
+// REMSP algorithm. For the bit-packed algorithms (BREMSP, PBREMSP) it
+// additionally retains the packed bitmap and the per-chunk run buffers. A
+// Scratch must not be shared by concurrent labelings.
 type Scratch struct {
-	p  []Label
-	lt *unionfind.LockTable
+	p    []Label
+	lt   *unionfind.LockTable
+	bm   *binimg.Bitmap
+	runs []*scan.RunSet
 }
 
 // parents returns a zeroed parent array with n+1 slots (slot 0 is the
@@ -92,6 +96,22 @@ func (s *Scratch) lockTable(stripes int) *unionfind.LockTable {
 		s.lt = unionfind.NewLockTable(stripes)
 	}
 	return s.lt
+}
+
+// bitmap returns the retained packed raster.
+func (s *Scratch) bitmap() *binimg.Bitmap {
+	if s.bm == nil {
+		s.bm = &binimg.Bitmap{}
+	}
+	return s.bm
+}
+
+// runSets returns n retained run buffers (one per chunk; BREMSP uses one).
+func (s *Scratch) runSets(n int) []*scan.RunSet {
+	for len(s.runs) < n {
+		s.runs = append(s.runs, &scan.RunSet{})
+	}
+	return s.runs[:n]
 }
 
 // CCLREMSP is the paper's Algorithm 1: decision-tree scan phase, FLATTEN

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/binimg"
+	"repro/internal/core"
+)
+
+// BenchResult is one machine-readable benchmark row: one algorithm over one
+// dataset class.
+type BenchResult struct {
+	Algorithm   string `json:"algorithm"`
+	Class       string `json:"class"`
+	Pixels      int64  `json:"pixels"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// BenchReport is the envelope cmd/paperbench -json writes. BENCH_seed.json
+// at the repository root is one of these, produced at -scale 0.05; future
+// changes diff their own run against it to track the perf trajectory
+// (ns/op values are machine-relative, allocs/op are not).
+type BenchReport struct {
+	Scale      float64       `json:"scale"`
+	Repeats    int           `json:"repeats"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// benchAlgs is the algorithm column set of the JSON benchmark: the paper's
+// sequential algorithms plus the bit-packed pair, with the parallel ones at
+// GOMAXPROCS.
+var benchAlgs = []struct {
+	Name string
+	Run  func(*binimg.Image) (*binimg.LabelMap, int)
+}{
+	{"CCLLRPC", baseline.CCLLRPC},
+	{"CCLRemSP", core.CCLREMSP},
+	{"ARun", baseline.ARUN},
+	{"ARemSP", core.AREMSP},
+	{"BREMSP", core.BREMSP},
+	{"PAREMSP", func(im *binimg.Image) (*binimg.LabelMap, int) { return core.PAREMSP(im, 0) }},
+	{"PBREMSP", func(im *binimg.Image) (*binimg.LabelMap, int) { return core.PBREMSP(im, 0) }},
+}
+
+// BenchJSON measures every benchmark algorithm over every dataset class at
+// cfg and writes one BenchReport as indented JSON.
+func BenchJSON(w io.Writer, cfg Config) error {
+	report := BenchReport{
+		Scale:      cfg.Scale,
+		Repeats:    cfg.Repeats,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	classes := AllClasses(cfg.Scale)
+	for _, class := range ClassOrder {
+		imgs := make([]*binimg.Image, 0, len(classes[class]))
+		var pixels int64
+		for _, spec := range classes[class] {
+			img := spec.Build()
+			pixels += int64(len(img.Pix))
+			imgs = append(imgs, img)
+		}
+		for _, alg := range benchAlgs {
+			run := func() {
+				for _, img := range imgs {
+					alg.Run(img)
+				}
+			}
+			for i := 0; i < cfg.Warmup; i++ {
+				run()
+			}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			for i := 0; i < cfg.Repeats; i++ {
+				run()
+			}
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			rep := int64(cfg.Repeats)
+			report.Results = append(report.Results, BenchResult{
+				Algorithm:   alg.Name,
+				Class:       class,
+				Pixels:      pixels,
+				NsPerOp:     elapsed.Nanoseconds() / rep,
+				AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / rep,
+				BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / rep,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

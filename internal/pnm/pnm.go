@@ -16,6 +16,7 @@ import (
 	"image/color"
 	"image/png"
 	"io"
+	"math/bits"
 	"strconv"
 
 	"repro/internal/binimg"
@@ -91,6 +92,49 @@ func decodePBM(br *bufio.Reader, raw bool, im *binimg.Image) error {
 		default:
 			return fmt.Errorf("pnm: P1 pixel %d: invalid token %q", i, tok)
 		}
+	}
+	return nil
+}
+
+// DecodePBMBitmapInto decodes a raw PBM (P4) stream directly into a packed
+// 1-bit-per-pixel bitmap, reshaped with Reset. P4 rows are already bit-packed
+// (MSB first within each byte), so each row is copied packed-to-packed — one
+// Reverse8 per byte reorders into the bitmap's LSB-first words, and the
+// row's tail padding bits are masked to preserve the Bitmap invariant —
+// instead of being unpacked to a byte per pixel. This is the fast ingest path
+// for the bit-packed labelers (BREMSP/PBREMSP): the byte raster is never
+// materialized.
+func DecodePBMBitmapInto(r io.Reader, dst *binimg.Bitmap) error {
+	br := bufio.NewReader(r)
+	magic, err := readToken(br)
+	if err != nil {
+		return fmt.Errorf("pnm: reading magic: %w", err)
+	}
+	if magic != "P4" {
+		return fmt.Errorf("pnm: bitmap decode wants raw PBM magic P4, got %q", magic)
+	}
+	w, h, err := readDims(br)
+	if err != nil {
+		return err
+	}
+	dst.Reset(w, h)
+	stride := (w + 7) / 8
+	if stride == 0 {
+		return nil // zero-width image: nothing follows the header
+	}
+	rowBuf := make([]byte, stride)
+	tail := dst.TailMask()
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, rowBuf); err != nil {
+			return fmt.Errorf("pnm: P4 row %d: %w", y, err)
+		}
+		words := dst.Words[y*dst.WordsPerRow : (y+1)*dst.WordsPerRow]
+		for i, bb := range rowBuf {
+			if bb != 0 {
+				words[i>>3] |= uint64(bits.Reverse8(bb)) << (uint(i&7) * 8)
+			}
+		}
+		words[len(words)-1] &= tail
 	}
 	return nil
 }

@@ -211,3 +211,63 @@ func TestDecodeBadPNG(t *testing.T) {
 		t.Fatal("garbage accepted as png")
 	}
 }
+
+// TestDecodePBMBitmapInto checks the packed P4 fast path against the
+// byte-unpacking decoder across word-boundary widths, and that the full
+// round trip (encode P4 -> bitmap decode -> encode P4) is byte-identical
+// to the byte-raster path.
+func TestDecodePBMBitmapInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bm := &binimg.Bitmap{} // reused across sizes: exercises Reset pooling
+	for _, w := range []int{1, 7, 8, 9, 63, 64, 65, 100, 128, 129} {
+		for _, h := range []int{1, 3, 17} {
+			img := binimg.New(w, h)
+			for i := range img.Pix {
+				if rng.Intn(2) == 1 {
+					img.Pix[i] = 1
+				}
+			}
+			var buf bytes.Buffer
+			if err := pnm.EncodePBM(&buf, img, true); err != nil {
+				t.Fatal(err)
+			}
+			raw := buf.Bytes()
+
+			if err := pnm.DecodePBMBitmapInto(bytes.NewReader(raw), bm); err != nil {
+				t.Fatalf("%dx%d: %v", w, h, err)
+			}
+			if got := bm.ToImage(); !got.Equal(img) {
+				t.Fatalf("%dx%d: bitmap decode disagrees with source\ngot:\n%s\nwant:\n%s", w, h, got, img)
+			}
+			tail := bm.TailMask()
+			for y := 0; y < h; y++ {
+				row := bm.Row(y)
+				if row[len(row)-1]&^tail != 0 {
+					t.Fatalf("%dx%d row %d: padding bits survived decode", w, h, y)
+				}
+			}
+
+			var back bytes.Buffer
+			if err := pnm.EncodePBM(&back, bm.ToImage(), true); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back.Bytes(), raw) {
+				t.Fatalf("%dx%d: P4 round trip through bitmap not byte-identical", w, h)
+			}
+		}
+	}
+}
+
+func TestDecodePBMBitmapIntoRejectsNonP4(t *testing.T) {
+	for _, src := range []string{"P1\n2 2\n1 0\n0 1\n", "P5\n2 2\n255\nabcd", "Px\n"} {
+		if err := pnm.DecodePBMBitmapInto(strings.NewReader(src), &binimg.Bitmap{}); err == nil {
+			t.Fatalf("accepted %q", src[:2])
+		}
+	}
+}
+
+func TestDecodePBMBitmapIntoTruncated(t *testing.T) {
+	if err := pnm.DecodePBMBitmapInto(strings.NewReader("P4\n16 4\n\x01\x02"), &binimg.Bitmap{}); err == nil {
+		t.Fatal("truncated P4 accepted")
+	}
+}

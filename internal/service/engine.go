@@ -47,16 +47,21 @@ type Engine struct {
 	closed bool
 
 	imgPool sync.Pool // *paremsp.Image
+	bmPool  sync.Pool // *paremsp.Bitmap
 	lmPool  sync.Pool // *paremsp.LabelMap
 	scPool  sync.Pool // *paremsp.Scratch
 
 	// run performs one labeling; tests substitute it to control timing.
 	run func(img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
+	// runBM is run for bit-packed jobs (LabelBitmap requests).
+	runBM func(bm *paremsp.Bitmap, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
 }
 
+// job carries one labeling request; exactly one of img and bm is non-nil.
 type job struct {
 	ctx  context.Context
 	img  *paremsp.Image
+	bm   *paremsp.Bitmap
 	opt  paremsp.Options
 	done chan jobResult
 }
@@ -90,8 +95,10 @@ func NewEngine(cfg Config) *Engine {
 		threads:    threads,
 		queue:      make(chan *job, depth),
 		run:        paremsp.LabelInto,
+		runBM:      paremsp.LabelBitmapInto,
 	}
 	e.imgPool.New = func() any { return &paremsp.Image{} }
+	e.bmPool.New = func() any { return &paremsp.Bitmap{} }
 	e.lmPool.New = func() any { return &paremsp.LabelMap{} }
 	e.scPool.New = func() any { return &paremsp.Scratch{} }
 	e.wg.Add(workers)
@@ -119,6 +126,19 @@ func (e *Engine) PutImage(img *paremsp.Image) {
 	}
 }
 
+// GetBitmap borrows a bit-packed raster from the bitmap pool; decode raw PBM
+// into it with pnm.DecodePBMBitmapInto and hand it to LabelBitmap, which
+// consumes it. If the bitmap never reaches LabelBitmap (e.g. decoding
+// failed), return it with PutBitmap.
+func (e *Engine) GetBitmap() *paremsp.Bitmap { return e.bmPool.Get().(*paremsp.Bitmap) }
+
+// PutBitmap returns a borrowed bitmap to the bitmap pool.
+func (e *Engine) PutBitmap(bm *paremsp.Bitmap) {
+	if bm != nil {
+		e.bmPool.Put(bm)
+	}
+}
+
 // PutResult returns a Label result's label map to the raster pool. Call it
 // after the response has been written; the result must not be used afterward.
 func (e *Engine) PutResult(res *paremsp.Result) {
@@ -139,17 +159,38 @@ func (e *Engine) PutResult(res *paremsp.Result) {
 // facts (dimensions, density) before calling. The returned result's label
 // map is pool-owned; release it with PutResult.
 func (e *Engine) Label(ctx context.Context, img *paremsp.Image, opt paremsp.Options) (*paremsp.Result, error) {
-	e.metrics.requests.Add(1)
-	if opt.Threads == 0 {
-		opt.Threads = e.threads
+	return e.submit(&job{ctx: ctx, img: img, opt: opt, done: make(chan jobResult, 1)})
+}
+
+// LabelBitmap is Label for a bit-packed raster (algorithms AlgBREMSP /
+// AlgPBREMSP, see paremsp.LabelBitmapInto). It consumes bm under the same
+// contract Label applies to img: on every path the engine returns it to the
+// bitmap pool, so read any per-raster facts before calling.
+func (e *Engine) LabelBitmap(ctx context.Context, bm *paremsp.Bitmap, opt paremsp.Options) (*paremsp.Result, error) {
+	return e.submit(&job{ctx: ctx, bm: bm, opt: opt, done: make(chan jobResult, 1)})
+}
+
+// reclaimInput returns the job's raster (whichever kind it carries) to its
+// pool.
+func (e *Engine) reclaimInput(j *job) {
+	if j.img != nil {
+		e.imgPool.Put(j.img)
+	} else {
+		e.bmPool.Put(j.bm)
 	}
-	j := &job{ctx: ctx, img: img, opt: opt, done: make(chan jobResult, 1)}
+}
+
+func (e *Engine) submit(j *job) (*paremsp.Result, error) {
+	e.metrics.requests.Add(1)
+	if j.opt.Threads == 0 {
+		j.opt.Threads = e.threads
+	}
 
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		e.metrics.rejected.Add(1)
-		e.imgPool.Put(img)
+		e.reclaimInput(j)
 		return nil, ErrClosed
 	}
 	select {
@@ -158,18 +199,20 @@ func (e *Engine) Label(ctx context.Context, img *paremsp.Image, opt paremsp.Opti
 	default:
 		e.mu.RUnlock()
 		e.metrics.rejected.Add(1)
-		e.imgPool.Put(img)
+		e.reclaimInput(j)
 		return nil, ErrQueueFull
 	}
+	ctx := j.ctx
 
-	// Once enqueued, the worker owns img and returns it to the pool.
+	// Once enqueued, the worker owns the raster and returns it to its pool.
 	select {
 	case r := <-j.done:
 		return r.res, r.err
 	case <-ctx.Done():
 		e.metrics.canceled.Add(1)
-		// The worker may still pick the job up (and is the one holding img);
-		// reclaim the label map when it finishes so the pool stays warm.
+		// The worker may still pick the job up (and is the one holding the
+		// raster); reclaim the label map when it finishes so the pool stays
+		// warm.
 		go func() {
 			if r := <-j.done; r.res != nil {
 				e.PutResult(r.res)
@@ -198,17 +241,27 @@ func (e *Engine) worker() {
 	for j := range e.queue {
 		if j.ctx.Err() != nil {
 			e.metrics.errors.Add(1)
-			e.imgPool.Put(j.img)
+			e.reclaimInput(j)
 			j.done <- jobResult{err: j.ctx.Err()}
 			continue
 		}
 		e.metrics.inFlight.Add(1)
 		lm := e.lmPool.Get().(*paremsp.LabelMap)
 		sc := e.scPool.Get().(*paremsp.Scratch)
-		npix := len(j.img.Pix)
-		res, err := e.run(j.img, lm, sc, j.opt)
+		var (
+			npix int
+			res  *paremsp.Result
+			err  error
+		)
+		if j.img != nil {
+			npix = len(j.img.Pix)
+			res, err = e.run(j.img, lm, sc, j.opt)
+		} else {
+			npix = j.bm.Width * j.bm.Height
+			res, err = e.runBM(j.bm, lm, sc, j.opt)
+		}
 		e.scPool.Put(sc)
-		e.imgPool.Put(j.img)
+		e.reclaimInput(j)
 		e.metrics.inFlight.Add(-1)
 		if err != nil {
 			e.lmPool.Put(lm)

@@ -35,18 +35,24 @@ type HandlerConfig struct {
 	// (im2bw semantics); requests override it with ?level=. 0 selects the
 	// paper's 0.5.
 	Level float64
+	// DefaultAlgorithm is used when a request does not pin ?alg=. Empty
+	// selects the library default (paremsp). Selecting a bit-packed
+	// algorithm (bremsp/pbremsp) makes raw-PBM uploads take the packed
+	// ingest path by default.
+	DefaultAlgorithm paremsp.Algorithm
 }
 
 type handler struct {
-	engine   *Engine
-	maxBytes int64
-	level    float64
+	engine     *Engine
+	maxBytes   int64
+	level      float64
+	defaultAlg paremsp.Algorithm
 }
 
 // NewHandler wraps an Engine in the service's HTTP surface: POST /v1/label,
 // GET /healthz, GET /metrics.
 func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
-	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level}
+	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm}
 	if h.maxBytes <= 0 {
 		h.maxBytes = 64 << 20
 	}
@@ -101,7 +107,7 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 			r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL), http.StatusNotAcceptable)
 		return
 	}
-	opt, level, wantStats, err := parseOptions(r, h.level)
+	opt, level, wantStats, err := parseOptions(r, h.level, h.defaultAlg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -113,29 +119,43 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
 		return
 	}
-	img := h.engine.GetImage()
-	switch kind {
-	case "pnm":
-		err = pnm.DecodeInto(body, level, img)
-	case "png":
-		err = pnm.DecodePNGInto(body, level, img)
-	}
-	if err != nil {
-		h.engine.PutImage(img)
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+
+	// The engine consumes the raster (it may return it to the pool after a
+	// cancellation while a worker still reads it), so both decode paths
+	// capture the per-image response facts before calling it.
+	var (
+		width, height int
+		density       float64
+		res           *paremsp.Result
+	)
+	if kind == "pnm" && bitPackedAlg(opt.Algorithm) && sniffP4(body) {
+		// Packed ingest: raw PBM is already 1 bit per pixel, and the
+		// bit-packed algorithms consume that layout natively — the byte
+		// raster is never materialized.
+		bm := h.engine.GetBitmap()
+		if err := pnm.DecodePBMBitmapInto(body, bm); err != nil {
+			h.engine.PutBitmap(bm)
+			h.decodeError(w, err)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		width, height, density = bm.Width, bm.Height, bm.Density()
+		res, err = h.engine.LabelBitmap(r.Context(), bm, opt)
+	} else {
+		img := h.engine.GetImage()
+		switch kind {
+		case "pnm":
+			err = pnm.DecodeInto(body, level, img)
+		case "png":
+			err = pnm.DecodePNGInto(body, level, img)
+		}
+		if err != nil {
+			h.engine.PutImage(img)
+			h.decodeError(w, err)
+			return
+		}
+		width, height, density = img.Width, img.Height, img.Density()
+		res, err = h.engine.Label(r.Context(), img, opt)
 	}
-
-	// Label consumes img (the engine may return it to the pool after a
-	// cancellation while a worker still reads it), so capture the per-image
-	// response facts first.
-	width, height, density := img.Width, img.Height, img.Density()
-	res, err := h.engine.Label(r.Context(), img, opt)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -197,12 +217,36 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// decodeError writes the HTTP failure for a request-body decode error:
+// 413 when the body ran over the size cap, 400 otherwise.
+func (h *handler) decodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// bitPackedAlg reports whether alg consumes a packed bitmap natively.
+func bitPackedAlg(alg paremsp.Algorithm) bool {
+	return alg == paremsp.AlgBREMSP || alg == paremsp.AlgPBREMSP
+}
+
+// sniffP4 reports whether the body starts with the raw-PBM magic.
+func sniffP4(body *bufio.Reader) bool {
+	magic, err := body.Peek(2)
+	return err == nil && magic[0] == 'P' && magic[1] == '4'
+}
+
 // parseOptions builds per-request labeling options from the query string:
-// alg (algorithm name), threads, conn (4 or 8), level (binarization
-// threshold), stats (include per-component statistics in JSON; default true).
-func parseOptions(r *http.Request, defLevel float64) (opt paremsp.Options, level float64, wantStats bool, err error) {
+// alg (algorithm name; defAlg when absent), threads, conn (4 or 8), level
+// (binarization threshold), stats (include per-component statistics in JSON;
+// default true).
+func parseOptions(r *http.Request, defLevel float64, defAlg paremsp.Algorithm) (opt paremsp.Options, level float64, wantStats bool, err error) {
 	q := r.URL.Query()
 	level, wantStats = defLevel, true
+	opt.Algorithm = defAlg
 	if v := q.Get("alg"); v != "" {
 		opt.Algorithm = paremsp.Algorithm(v)
 	}

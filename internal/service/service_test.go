@@ -468,3 +468,123 @@ func TestLabelConcurrentLoad(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLabelBitPackedFastPath posts raw PBM with the bit-packed algorithms
+// selected: the handler decodes straight into a pooled Bitmap and the engine
+// labels it without ever materializing the byte raster. Responses must match
+// the byte-raster path.
+func TestLabelBitPackedFastPath(t *testing.T) {
+	_, srv := newTestServer(t, Config{}, HandlerConfig{})
+	img := testImage(t)
+	body := pbmBody(t, img)
+	for _, alg := range []string{"bremsp", "pbremsp"} {
+		resp := post(t, srv.URL+"/v1/label?alg="+alg, ctPBM, ctJSON, body)
+		var got labelResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", alg, resp.StatusCode)
+		}
+		if got.NumComponents != 5 || got.Width != img.Width || got.Height != img.Height {
+			t.Fatalf("%s: got %+v", alg, got)
+		}
+		if got.Density == 0 {
+			t.Fatalf("%s: density not computed from the bitmap", alg)
+		}
+		if alg == "pbremsp" && got.Phases == nil {
+			t.Fatal("pbremsp: phase times missing")
+		}
+	}
+}
+
+// TestLabelBitPackedPoolReuse cycles differently-sized P4 uploads through the
+// pooled bitmaps to catch stale-word leaks across Reset.
+func TestLabelBitPackedPoolReuse(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1}, HandlerConfig{})
+	big := paremsp.NewImage(130, 40) // 3 words per row
+	for i := range big.Pix {
+		big.Pix[i] = 1
+	}
+	small := testImage(t)
+	for i, img := range []*paremsp.Image{big, small, big, small} {
+		want := 5
+		if img == big {
+			want = 1
+		}
+		resp := post(t, srv.URL+"/v1/label?alg=pbremsp", ctPBM, ctJSON, pbmBody(t, img))
+		var got labelResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got.NumComponents != want {
+			t.Fatalf("request %d: num_components = %d, want %d", i, got.NumComponents, want)
+		}
+	}
+}
+
+// TestLabelBitPackedFallsBackForNonP4 checks that a bit-packed algorithm
+// still labels plain-PBM and PNG bodies through the byte-raster decode.
+func TestLabelBitPackedFallsBackForNonP4(t *testing.T) {
+	_, srv := newTestServer(t, Config{}, HandlerConfig{})
+	img := testImage(t)
+	var plain bytes.Buffer
+	if err := pnm.EncodePBM(&plain, img, false); err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		ct   string
+		body []byte
+	}{
+		"plain-pbm": {ctPBM, plain.Bytes()},
+		"png":       {ctPNG, pngBody(t, img)},
+	} {
+		resp := post(t, srv.URL+"/v1/label?alg=bremsp", tc.ct, ctJSON, tc.body)
+		var got labelResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || got.NumComponents != 5 {
+			t.Fatalf("%s: status %d, num_components %d", name, resp.StatusCode, got.NumComponents)
+		}
+	}
+}
+
+// TestLabelDefaultAlgorithmConfig checks that HandlerConfig.DefaultAlgorithm
+// applies when ?alg= is absent and that ?alg= still overrides it.
+func TestLabelDefaultAlgorithmConfig(t *testing.T) {
+	_, srv := newTestServer(t, Config{}, HandlerConfig{DefaultAlgorithm: paremsp.AlgPBREMSP})
+	img := testImage(t)
+	resp := post(t, srv.URL+"/v1/label", ctPBM, ctJSON, pbmBody(t, img))
+	var got labelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.NumComponents != 5 || got.Phases == nil {
+		t.Fatalf("default pbremsp: %+v", got)
+	}
+	resp = post(t, srv.URL+"/v1/label?alg=floodfill", ctPBM, ctJSON, pbmBody(t, img))
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.NumComponents != 5 {
+		t.Fatalf("alg override: num_components = %d, want 5", got.NumComponents)
+	}
+}
+
+// TestLabelBitPackedTruncatedP4 checks the packed decode path's error
+// handling: a truncated raw PBM is a 400, and the borrowed bitmap goes back
+// to the pool (no worker ever sees it).
+func TestLabelBitPackedTruncatedP4(t *testing.T) {
+	_, srv := newTestServer(t, Config{}, HandlerConfig{})
+	resp := post(t, srv.URL+"/v1/label?alg=bremsp", ctPBM, ctJSON, []byte("P4\n64 64\nxx"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/band"
 	"repro/internal/baseline"
 	"repro/internal/binimg"
 	"repro/internal/core"
@@ -334,6 +335,45 @@ func LabelBitmapInto(bm *Bitmap, dst *LabelMap, sc *Scratch, opt Options) (*Resu
 			alg, AlgBREMSP, AlgPBREMSP)
 	}
 	return res, nil
+}
+
+// StreamOptions configures LabelStream.
+type StreamOptions struct {
+	// BandRows is the streaming band height in rows; 0 selects
+	// band.DefaultBandRows. Peak memory scales with BandRows (bitmap, run
+	// set and equivalence table for one band), never with the image height.
+	BandRows int
+	// Level is the binarization threshold for raw PGM (P5) input (im2bw
+	// semantics, like DecodePNM); 0 selects the paper's 0.5. Ignored for
+	// raw PBM (P4) input.
+	Level float64
+}
+
+// StreamResult is the outcome of LabelStream: the component count and
+// per-component statistics of the streamed image. No label raster is
+// produced; use Label when the full LabelMap is needed and fits in memory.
+type StreamResult = band.Result
+
+// ComponentStats is the per-component statistics record LabelStream
+// produces: area, bounding box, centroid, and foreground run count.
+type ComponentStats = band.ComponentStats
+
+// LabelStream labels a raw PBM (P4) or raw PGM (P5) stream out-of-core:
+// the image is consumed as fixed-height row bands, each labeled with the
+// bit-packed run scan and stitched to its predecessor by unioning the runs
+// of the seam rows, while per-component statistics accumulate run-by-run.
+// Peak memory is O(one band + equivalence table), independent of image
+// height — a 100k-row raster streams through a few megabytes.
+func LabelStream(r io.Reader, opt StreamOptions) (*StreamResult, error) {
+	level := opt.Level
+	if level == 0 {
+		level = 0.5
+	}
+	src, err := pnm.NewBandReader(r, level)
+	if err != nil {
+		return nil, err
+	}
+	return band.Stream(src, band.Options{BandRows: opt.BandRows})
 }
 
 // CountComponents labels img with AREMSP and returns only the component

@@ -312,3 +312,37 @@ func TestLabelBitmapErrors(t *testing.T) {
 		t.Error("4-connectivity accepted for bit-packed labeling")
 	}
 }
+
+func TestLabelStream(t *testing.T) {
+	img := testImage(t)
+	var pbm bytes.Buffer
+	if err := paremsp.EncodePBM(&pbm, img, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, bandRows := range []int{0, 1, 2} {
+		res, err := paremsp.LabelStream(bytes.NewReader(pbm.Bytes()), paremsp.StreamOptions{BandRows: bandRows})
+		if err != nil {
+			t.Fatalf("band %d: %v", bandRows, err)
+		}
+		if res.Width != img.Width || res.Height != img.Height {
+			t.Fatalf("band %d: shape %dx%d, want %dx%d", bandRows, res.Width, res.Height, img.Width, img.Height)
+		}
+		ref, err := paremsp.Label(img, paremsp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumComponents != ref.NumComponents {
+			t.Fatalf("band %d: %d components, want %d", bandRows, res.NumComponents, ref.NumComponents)
+		}
+		var area int64
+		for _, c := range res.Components {
+			area += c.Area
+		}
+		if got := int64(img.ForegroundCount()); area != got || res.ForegroundPixels != got {
+			t.Fatalf("band %d: area sum %d / foreground %d, want %d", bandRows, area, res.ForegroundPixels, got)
+		}
+	}
+	if _, err := paremsp.LabelStream(strings.NewReader("P1\n1 1\n1\n"), paremsp.StreamOptions{}); err == nil {
+		t.Error("plain PBM accepted by the band streamer")
+	}
+}

@@ -1,11 +1,13 @@
-// Command ccstream labels a raw PBM (P4) image with the out-of-core
-// streaming labeler: only O(width) pixel rows stay resident, provisional
-// labels spill to a scratch file, and the result is written as a CCL1 label
-// stream (see internal/stream for the format).
+// Command ccstream labels a raw PBM (P4) or raw PGM (P5) image with the
+// out-of-core band labeler: only one fixed-height band of pixels stays
+// resident (independent of image height), per-component statistics
+// accumulate during the pass, provisional labels spill to a scratch file,
+// and the result is written as a CCL1 label stream (see internal/stream for
+// the format).
 //
 // Usage:
 //
-//	ccstream -o labels.ccl huge.pbm
+//	ccstream -o labels.ccl [-band rows] [-stats] huge.pbm
 package main
 
 import (

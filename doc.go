@@ -54,6 +54,35 @@
 // fills one from raw PBM (P4) without materializing a byte raster, since P4
 // rows are already bit-packed.
 //
+// # Streaming and out-of-core statistics
+//
+// LabelStream labels rasters far larger than memory. The input — a raw PBM
+// (P4) or raw PGM (P5) stream — is consumed as fixed-height row bands
+// (StreamOptions.BandRows; default 256): each band is labeled with BREMSP's
+// run scan in its own label space, consecutive bands are stitched by
+// unioning the foreground runs of the two seam rows, and per-component
+// statistics (area, bounding box, centroid, run count — see ComponentStats)
+// accumulate run-by-run. No label raster is ever materialized, so peak
+// memory is O(one band + its equivalence table + the component table),
+// independent of image height: a 100k-row raster streams through the few
+// megabytes a single band needs.
+//
+// Band-height guidance: larger bands amortize the per-band flatten and seam
+// costs and are faster; smaller bands cap memory. The per-band working set
+// is dominated by the equivalence tables at 8 bytes per potential run —
+// about 4*width*rows bytes, plus width*rows/8 for the band bitmap and 12
+// bytes per actual run — so the default of 256 rows costs ~17 MiB for a
+// 16384-pixel-wide raster; at extreme widths shrink the band (a
+// 2^20-pixel-wide raster needs rows <= 8 to stay near 32 MiB). Correctness
+// is band-height-independent (the test suite checks heights 1, 2, 7, 64 and
+// whole-image against in-memory labeling).
+//
+// cmd/ccstream wires LabelStream to disk, spilling provisional labels to a
+// scratch file and rewriting them into a CCL1 label stream once the final
+// numbering is known; the service's POST /v1/stats endpoint streams a
+// (possibly chunked) upload through the same engine and returns JSON
+// statistics.
+//
 // # Buffer reuse and the service layer
 //
 // LabelInto is Label writing into caller-provided buffers: a LabelMap

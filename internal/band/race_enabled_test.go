@@ -1,0 +1,8 @@
+//go:build race
+
+package band_test
+
+// raceEnabled reports whether the race detector is compiled in; the memory
+// acceptance test skips under it (instrumentation multiplies both the
+// runtime and every allocation, invalidating the heap bound).
+const raceEnabled = true

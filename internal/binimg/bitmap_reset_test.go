@@ -1,0 +1,55 @@
+package binimg
+
+import "testing"
+
+// TestBitmapResetNarrowerKeepsTailInvariant reuses one word buffer across a
+// shrink-then-grow shape sequence with every pixel set in between. Reset to
+// a narrower raster must re-establish the tail-bits-zero invariant (stale
+// set bits beyond the new width would leak into run extraction and
+// ForegroundCount) and a wider Reset must not resurrect old pixels.
+func TestBitmapResetNarrowerKeepsTailInvariant(t *testing.T) {
+	bm := NewBitmap(130, 4)
+	fill := func() {
+		for i := range bm.Words {
+			bm.Words[i] = ^uint64(0)
+		}
+		for y := 0; y < bm.Height; y++ {
+			row := bm.Row(y)
+			if len(row) > 0 {
+				row[len(row)-1] &= bm.TailMask()
+			}
+		}
+	}
+	fill()
+	if got, want := bm.ForegroundCount(), 130*4; got != want {
+		t.Fatalf("full 130x4: %d foreground, want %d", got, want)
+	}
+
+	for _, shape := range []struct{ w, h int }{
+		{65, 4}, {64, 2}, {63, 7}, {1, 3}, {129, 5}, {130, 4},
+	} {
+		bm.Reset(shape.w, shape.h)
+		if got := bm.ForegroundCount(); got != 0 {
+			t.Fatalf("Reset(%d,%d): %d stale foreground pixels", shape.w, shape.h, got)
+		}
+		for y := 0; y < shape.h; y++ {
+			row := bm.Row(y)
+			if len(row) == 0 {
+				continue
+			}
+			if stale := row[len(row)-1] &^ bm.TailMask(); stale != 0 {
+				t.Fatalf("Reset(%d,%d): row %d tail bits %#x", shape.w, shape.h, y, stale)
+			}
+			if runs := bm.AppendRowRuns(nil, y); len(runs) != 0 {
+				t.Fatalf("Reset(%d,%d): row %d has stale runs %v", shape.w, shape.h, y, runs)
+			}
+		}
+		// A single pixel at the right edge must extract as exactly one run.
+		bm.Set(shape.w-1, 0, 1)
+		runs := bm.AppendRowRuns(nil, 0)
+		if len(runs) != 1 || runs[0].Start != int32(shape.w-1) || runs[0].End != int32(shape.w) {
+			t.Fatalf("Reset(%d,%d): edge pixel runs %v", shape.w, shape.h, runs)
+		}
+		fill()
+	}
+}

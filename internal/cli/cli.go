@@ -8,6 +8,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/binimg"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/pnm"
 	"repro/internal/service"
 	"repro/internal/stream"
 )
@@ -212,19 +214,25 @@ func GenImg(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// CCStream implements the ccstream command: label a raw PBM (P4) file with
-// the out-of-core streaming labeler, writing a CCL1 label stream. Only
-// O(width) rows of pixels stay resident; the provisional labels spill to a
-// scratch file next to the output.
+// CCStream implements the ccstream command: label a raw PBM (P4) or raw PGM
+// (P5) file with the out-of-core band labeler. The image streams through
+// fixed-height row bands (O(band) resident memory, independent of image
+// height); per-component statistics accumulate during the pass, and the
+// label raster — whose final numbering is only known once the stream
+// completes — spills as provisional ids to a scratch file that a second
+// sequential pass rewrites into a CCL1 label stream.
 func CCStream(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ccstream", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "labels.ccl", "output CCL1 label-stream path")
+	bandRows := fs.Int("band", 0, "band height in rows (0 = default)")
+	level := fs.Float64("level", 0.5, "binarization threshold for raw PGM input")
+	showStats := fs.Bool("stats", false, "print per-component statistics")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: ccstream [-o labels.ccl] input.pbm")
+		fmt.Fprintln(stderr, "usage: ccstream [-o labels.ccl] [-band rows] input.{pbm,pgm}")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -249,13 +257,25 @@ func CCStream(args []string, stdout, stderr io.Writer) int {
 	defer outF.Close()
 
 	start := time.Now()
-	n, err := stream.LabelPBM(in, spill, outF)
+	src, err := pnm.NewBandReader(in, *level)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccstream:", err)
+		return 1
+	}
+	res, err := stream.LabelBands(src, spill, outF, *bandRows)
 	if err != nil {
 		fmt.Fprintln(stderr, "ccstream:", err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "%s: %d components in %v; labels written to %s\n",
-		filepath.Base(fs.Arg(0)), n, time.Since(start).Round(time.Millisecond), *out)
+		filepath.Base(fs.Arg(0)), res.NumComponents, time.Since(start).Round(time.Millisecond), *out)
+	if *showStats {
+		fmt.Fprintln(stdout, "label  area  runs  bbox              centroid")
+		for _, c := range res.Components {
+			fmt.Fprintf(stdout, "%5d %5d %5d  (%d,%d)-(%d,%d)  (%.1f, %.1f)\n",
+				c.Label, c.Area, c.Runs, c.MinX, c.MinY, c.MaxX, c.MaxY, c.CentroidX, c.CentroidY)
+		}
+	}
 	return 0
 }
 
@@ -300,6 +320,11 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 			Level:            *level,
 			DefaultAlgorithm: paremsp.Algorithm(*alg),
 		}),
+		// Streaming endpoints (/v1/stats) read the body on a pool worker, so
+		// a stalled client holds labeling capacity; bound at least the header
+		// phase. Body-read time is bounded by -max-bytes plus the deployment's
+		// load balancer / reverse proxy timeouts.
+		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -345,6 +370,8 @@ func PaperBench(args []string, stdout, stderr io.Writer) int {
 	repeats := fs.Int("repeats", experiments.DefaultConfig.Repeats, "timed repetitions per image")
 	warmup := fs.Int("warmup", experiments.DefaultConfig.Warmup, "untimed warmup runs per image")
 	jsonOut := fs.String("json", "", "write machine-readable per-algorithm ns/op + allocs to this file ('-' = stdout) instead of running -exp")
+	diffPath := fs.String("diff", "", "run the -json benchmark and compare it against this baseline report (e.g. BENCH_seed.json); exit 3 on regressions beyond -regress")
+	regress := fs.Float64("regress", 0.25, "ns/op regression tolerance for -diff (0.25 = fail beyond +25%)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -356,25 +383,64 @@ func PaperBench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "paperbench: -repeats must be >= 1")
 		return 2
 	}
+	if *regress <= 0 {
+		fmt.Fprintln(stderr, "paperbench: -regress must be positive")
+		return 2
+	}
 	cfg := experiments.Config{Scale: *scale, Repeats: *repeats, Warmup: *warmup}
 
-	if *jsonOut != "" {
-		out := stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
+	if *jsonOut != "" || *diffPath != "" {
+		report := experiments.RunBench(cfg)
+		if *jsonOut != "" {
+			out := stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(stderr, "paperbench:", err)
+					return 1
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+				return 1
+			}
+			if *jsonOut != "-" {
+				fmt.Fprintf(stdout, "paperbench: benchmark report written to %s\n", *jsonOut)
+			}
+		}
+		if *diffPath != "" {
+			f, err := os.Open(*diffPath)
 			if err != nil {
 				fmt.Fprintln(stderr, "paperbench:", err)
 				return 1
 			}
-			defer f.Close()
-			out = f
-		}
-		if err := experiments.BenchJSON(out, cfg); err != nil {
-			fmt.Fprintln(stderr, "paperbench:", err)
-			return 1
-		}
-		if *jsonOut != "-" {
-			fmt.Fprintf(stdout, "paperbench: benchmark report written to %s\n", *jsonOut)
+			base, err := experiments.ReadBenchReport(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+				return 1
+			}
+			regs, compared := experiments.DiffReports(base, report, *regress)
+			if compared == 0 {
+				fmt.Fprintf(stderr, "paperbench: no comparable pairs between this run and %s (different -scale or algorithm set?)\n", *diffPath)
+				return 1
+			}
+			if len(regs) == 0 {
+				fmt.Fprintf(stdout, "paperbench: no ns/op regressions beyond +%.0f%% vs %s (%d pairs compared)\n",
+					*regress*100, *diffPath, compared)
+				return 0
+			}
+			fmt.Fprintf(stdout, "paperbench: %d ns/op regression(s) beyond +%.0f%% vs %s:\n",
+				len(regs), *regress*100, *diffPath)
+			for _, r := range regs {
+				fmt.Fprintf(stdout, "  %-10s %-12s %12d -> %12d ns/op (%.2fx)\n",
+					r.Algorithm, r.Class, r.BaseNs, r.CurNs, r.Ratio)
+			}
+			return 3
 		}
 		return 0
 	}

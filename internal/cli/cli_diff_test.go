@@ -1,0 +1,75 @@
+package cli_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+)
+
+// writeBaseline runs the tiny benchmark once and writes it back with every
+// ns/op scaled, producing a deterministic baseline that a fresh run is
+// guaranteed to beat (scale up) or regress against (scale down) regardless
+// of machine noise.
+func writeBaseline(t *testing.T, scaleNs int64, div bool) string {
+	t.Helper()
+	report := experiments.RunBench(experiments.Config{Scale: 0.001, Repeats: 1, Warmup: 0})
+	for i := range report.Results {
+		if div {
+			report.Results[i].NsPerOp /= scaleNs
+			if report.Results[i].NsPerOp == 0 {
+				report.Results[i].NsPerOp = 1
+			}
+		} else {
+			report.Results[i].NsPerOp *= scaleNs
+		}
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPaperBenchDiffClean(t *testing.T) {
+	base := writeBaseline(t, 1000, false) // baseline 1000x slower: cannot regress
+	var out, errw bytes.Buffer
+	code := cli.PaperBench([]string{"-scale", "0.001", "-repeats", "1", "-warmup", "0", "-diff", base}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout: %s, stderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "no ns/op regressions") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestPaperBenchDiffRegression(t *testing.T) {
+	base := writeBaseline(t, 1000, true) // baseline 1000x faster: every pair regresses
+	var out, errw bytes.Buffer
+	code := cli.PaperBench([]string{"-scale", "0.001", "-repeats", "1", "-warmup", "0", "-diff", base}, &out, &errw)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stdout: %s, stderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "regression(s)") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestPaperBenchDiffErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli.PaperBench([]string{"-diff", "/nonexistent.json"}, &out, &errw); code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+	if code := cli.PaperBench([]string{"-diff", "x.json", "-regress", "0"}, &out, &errw); code != 2 {
+		t.Errorf("bad -regress: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadBenchReport decodes a BenchReport previously written by BenchJSON
+// (e.g. the checked-in BENCH_seed.json).
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("experiments: decoding bench report: %w", err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("experiments: bench report has no results")
+	}
+	return &rep, nil
+}
+
+// Regression is one algorithm x class pair whose ns/op worsened beyond the
+// tolerance when a fresh run is compared against a baseline report.
+type Regression struct {
+	Algorithm string
+	Class     string
+	BaseNs    int64
+	CurNs     int64
+	// Ratio is CurNs / BaseNs (1.30 = 30% slower than the baseline).
+	Ratio float64
+}
+
+// DiffReports compares a fresh report against a baseline and returns the
+// pairs whose ns/op regressed by more than tolerance (0.25 = +25%), sorted
+// worst first, plus the number of pairs actually compared. Pairs present in
+// only one report are skipped — algorithms come and go across PRs — as are
+// baseline rows with a non-positive ns/op and pairs measured over different
+// pixel counts (a -scale mismatch makes the ns/op incomparable); callers
+// should treat compared == 0 as "no check happened", not as a pass. ns/op
+// is machine-relative, so a diff is only meaningful when both reports come
+// from the same machine (CI compares two runs of the same job class).
+func DiffReports(base, cur *BenchReport, tolerance float64) (regs []Regression, compared int) {
+	type key struct{ alg, class string }
+	type baseRow struct{ ns, pixels int64 }
+	baseNs := make(map[key]baseRow, len(base.Results))
+	for _, r := range base.Results {
+		baseNs[key{r.Algorithm, r.Class}] = baseRow{r.NsPerOp, r.Pixels}
+	}
+	for _, r := range cur.Results {
+		br, ok := baseNs[key{r.Algorithm, r.Class}]
+		b := br.ns
+		if !ok || b <= 0 || br.pixels != r.Pixels {
+			continue
+		}
+		compared++
+		ratio := float64(r.NsPerOp) / float64(b)
+		if ratio > 1+tolerance {
+			regs = append(regs, Regression{
+				Algorithm: r.Algorithm,
+				Class:     r.Class,
+				BaseNs:    b,
+				CurNs:     r.NsPerOp,
+				Ratio:     ratio,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, compared
+}

@@ -1,0 +1,65 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func report(rows ...experiments.BenchResult) *experiments.BenchReport {
+	return &experiments.BenchReport{Scale: 0.05, Repeats: 1, Results: rows}
+}
+
+func row(alg, class string, ns int64) experiments.BenchResult {
+	return experiments.BenchResult{Algorithm: alg, Class: class, NsPerOp: ns}
+}
+
+func TestDiffReports(t *testing.T) {
+	base := report(
+		row("BREMSP", "Aerial", 1000),
+		row("BREMSP", "Texture", 1000),
+		row("ARemSP", "Aerial", 2000),
+		row("Gone", "Aerial", 500),
+		row("Zero", "Aerial", 0),
+	)
+	cur := report(
+		row("BREMSP", "Aerial", 1600),  // +60%: regression
+		row("BREMSP", "Texture", 1200), // +20%: within tolerance
+		row("ARemSP", "Aerial", 2600),  // +30%: regression
+		row("New", "Aerial", 900),      // not in baseline: ignored
+		row("Zero", "Aerial", 900),     // zero baseline: ignored
+	)
+	scaled := row("Gone", "Aerial", 5000) // would regress, but measured at another scale
+	scaled.Pixels = 999
+	cur.Results = append(cur.Results, scaled)
+	regs, compared := experiments.DiffReports(base, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %+v, want 2", len(regs), regs)
+	}
+	if compared != 3 { // the two BREMSP rows + ARemSP; New/Zero/scaled skipped
+		t.Fatalf("compared %d pairs, want 3", compared)
+	}
+	// Sorted worst first.
+	if regs[0].Algorithm != "BREMSP" || regs[0].Class != "Aerial" || regs[0].Ratio != 1.6 {
+		t.Fatalf("worst regression = %+v", regs[0])
+	}
+	if regs[1].Algorithm != "ARemSP" || regs[1].CurNs != 2600 {
+		t.Fatalf("second regression = %+v", regs[1])
+	}
+	if got, _ := experiments.DiffReports(base, cur, 0.75); len(got) != 0 {
+		t.Fatalf("tolerance 0.75: got %+v, want none", got)
+	}
+	if _, n := experiments.DiffReports(report(row("X", "Y", 5)), cur, 0.25); n != 0 {
+		t.Fatalf("disjoint reports compared %d pairs, want 0", n)
+	}
+}
+
+func TestReadBenchReportRejectsGarbage(t *testing.T) {
+	if _, err := experiments.ReadBenchReport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+	if _, err := experiments.ReadBenchReport(strings.NewReader(`{"results":[]}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}

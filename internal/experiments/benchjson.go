@@ -53,7 +53,17 @@ var benchAlgs = []struct {
 // BenchJSON measures every benchmark algorithm over every dataset class at
 // cfg and writes one BenchReport as indented JSON.
 func BenchJSON(w io.Writer, cfg Config) error {
-	report := BenchReport{
+	report := RunBench(cfg)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// RunBench measures every benchmark algorithm over every dataset class at
+// cfg and returns the report; BenchJSON and the regression differ
+// (cmd/paperbench -diff) both consume it.
+func RunBench(cfg Config) *BenchReport {
+	report := &BenchReport{
 		Scale:      cfg.Scale,
 		Repeats:    cfg.Repeats,
 		GoVersion:  runtime.Version(),
@@ -96,7 +106,5 @@ func BenchJSON(w io.Writer, cfg Config) error {
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return report
 }

@@ -1,0 +1,69 @@
+package harness_test
+
+import (
+	"testing"
+
+	paremsp "repro"
+	"repro/internal/harness"
+)
+
+// TestAlgorithmConformance is the differential conformance suite: every
+// algorithm the library exposes is run over every corpus image and must
+// produce the flood-fill oracle's partition (label numbering may differ)
+// with the same component count. This is the one place where all twelve
+// algorithms face the same inputs.
+func TestAlgorithmConformance(t *testing.T) {
+	corpus := harness.Corpus()
+	for _, alg := range paremsp.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			for _, ci := range corpus {
+				want, err := paremsp.Label(ci.Image, paremsp.Options{Algorithm: paremsp.AlgFloodFill})
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", ci.Name, err)
+				}
+				got, err := paremsp.Label(ci.Image, paremsp.Options{Algorithm: alg})
+				if err != nil {
+					t.Fatalf("%s: %v", ci.Name, err)
+				}
+				if got.NumComponents != want.NumComponents {
+					t.Errorf("%s: %d components, oracle found %d", ci.Name, got.NumComponents, want.NumComponents)
+					continue
+				}
+				if err := paremsp.Equivalent(got.Labels, want.Labels); err != nil {
+					t.Errorf("%s: partition differs from oracle: %v", ci.Name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAlgorithmConformanceThreads re-runs the parallel algorithms at
+// awkward thread counts (1, 3, and more threads than rows) over the corpus;
+// chunk-boundary bugs hide at exactly these shapes.
+func TestAlgorithmConformanceThreads(t *testing.T) {
+	corpus := harness.Corpus()
+	for _, alg := range []paremsp.Algorithm{paremsp.AlgPAREMSP, paremsp.AlgPBREMSP} {
+		for _, threads := range []int{1, 3, 1000} {
+			for _, ci := range corpus {
+				want, err := paremsp.Label(ci.Image, paremsp.Options{Algorithm: paremsp.AlgFloodFill})
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", ci.Name, err)
+				}
+				got, err := paremsp.Label(ci.Image, paremsp.Options{Algorithm: alg, Threads: threads})
+				if err != nil {
+					t.Fatalf("%s/%s/t%d: %v", alg, ci.Name, threads, err)
+				}
+				if got.NumComponents != want.NumComponents {
+					t.Errorf("%s/%s/t%d: %d components, oracle found %d",
+						alg, ci.Name, threads, got.NumComponents, want.NumComponents)
+					continue
+				}
+				if err := paremsp.Equivalent(got.Labels, want.Labels); err != nil {
+					t.Errorf("%s/%s/t%d: partition differs: %v", alg, ci.Name, threads, err)
+				}
+			}
+		}
+	}
+}

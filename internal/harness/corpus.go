@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/dataset"
+)
+
+// CorpusImage is one entry of the shared conformance corpus.
+type CorpusImage struct {
+	Name  string
+	Image *binimg.Image
+}
+
+// Corpus returns the shared generated corpus the differential test suites
+// run every algorithm over: uniform noise at densities 1/25/50/75/99% in
+// widths that straddle the 64-bit word boundary of the bit-packed scans
+// (1, 63, 64, 65) plus a wider raster, and the degenerate shapes — empty,
+// 1-pixel, 1-row, 1-column, all-foreground, all-background — where scan
+// masks and run extraction have their edge cases. Generation is
+// deterministic, so every suite sees the same pixels.
+func Corpus() []CorpusImage {
+	var out []CorpusImage
+	densities := []int{1, 25, 50, 75, 99}
+	widths := []int{1, 63, 64, 65, 150}
+	for _, d := range densities {
+		for _, w := range widths {
+			h := 40
+			if w == 1 {
+				h = 200 // keep 1-wide rasters tall enough to form columns
+			}
+			seed := int64(d*1000 + w)
+			out = append(out, CorpusImage{
+				Name:  fmt.Sprintf("noise_d%02d_w%d", d, w),
+				Image: dataset.UniformNoise(w, h, float64(d)/100, seed),
+			})
+		}
+	}
+
+	onePixelFG := binimg.New(1, 1)
+	onePixelFG.Pix[0] = 1
+	allFG := binimg.New(65, 33)
+	for i := range allFG.Pix {
+		allFG.Pix[i] = 1
+	}
+	out = append(out,
+		CorpusImage{Name: "empty_0x0", Image: binimg.New(0, 0)},
+		CorpusImage{Name: "pixel_bg", Image: binimg.New(1, 1)},
+		CorpusImage{Name: "pixel_fg", Image: onePixelFG},
+		CorpusImage{Name: "row_1", Image: dataset.UniformNoise(130, 1, 0.5, 7)},
+		CorpusImage{Name: "col_1", Image: dataset.UniformNoise(1, 130, 0.5, 8)},
+		CorpusImage{Name: "all_fg", Image: allFG},
+		CorpusImage{Name: "all_bg", Image: binimg.New(65, 33)},
+		CorpusImage{Name: "checker_1", Image: dataset.Checkerboard(67, 41, 1)},
+		CorpusImage{Name: "stripes_v", Image: dataset.Stripes(129, 37, 1, 1, true)},
+	)
+	return out
+}

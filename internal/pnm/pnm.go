@@ -128,15 +128,24 @@ func DecodePBMBitmapInto(r io.Reader, dst *binimg.Bitmap) error {
 		if _, err := io.ReadFull(br, rowBuf); err != nil {
 			return fmt.Errorf("pnm: P4 row %d: %w", y, err)
 		}
-		words := dst.Words[y*dst.WordsPerRow : (y+1)*dst.WordsPerRow]
-		for i, bb := range rowBuf {
-			if bb != 0 {
-				words[i>>3] |= uint64(bits.Reverse8(bb)) << (uint(i&7) * 8)
-			}
-		}
-		words[len(words)-1] &= tail
+		packP4Row(dst.Words[y*dst.WordsPerRow:(y+1)*dst.WordsPerRow], rowBuf, tail)
 	}
 	return nil
+}
+
+// packP4Row reorders one raw-PBM row (MSB-first within each byte) into a
+// row of zeroed LSB-first bitmap words — one Reverse8 per byte — and masks
+// the row's padding bits with tail to preserve the Bitmap tail-bits-zero
+// invariant. Shared by the whole-image and band decoders.
+func packP4Row(words []uint64, rowBuf []byte, tail uint64) {
+	for i, bb := range rowBuf {
+		if bb != 0 {
+			words[i>>3] |= uint64(bits.Reverse8(bb)) << (uint(i&7) * 8)
+		}
+	}
+	if len(words) > 0 {
+		words[len(words)-1] &= tail
+	}
 }
 
 func decodePGM(br *bufio.Reader, raw bool, level float64, im *binimg.Image) error {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	paremsp "repro"
+	"repro/internal/band"
 )
 
 // Typed engine errors. The HTTP layer maps ErrQueueFull to 429 and ErrClosed
@@ -57,18 +58,23 @@ type Engine struct {
 	runBM func(bm *paremsp.Bitmap, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
 }
 
-// job carries one labeling request; exactly one of img and bm is non-nil.
+// job carries one request; exactly one of img, bm and stream is non-nil.
+// stream jobs run the out-of-core band labeler on the worker (the thunk
+// reads the request body itself), so they obey the same in-flight bound and
+// queue backpressure as raster labelings.
 type job struct {
-	ctx  context.Context
-	img  *paremsp.Image
-	bm   *paremsp.Bitmap
-	opt  paremsp.Options
-	done chan jobResult
+	ctx    context.Context
+	img    *paremsp.Image
+	bm     *paremsp.Bitmap
+	stream func() (*band.Result, error)
+	opt    paremsp.Options
+	done   chan jobResult
 }
 
 type jobResult struct {
-	res *paremsp.Result
-	err error
+	res  *paremsp.Result
+	bres *band.Result
+	err  error
 }
 
 // NewEngine starts a worker pool per cfg. Callers must Close it to stop the
@@ -159,7 +165,8 @@ func (e *Engine) PutResult(res *paremsp.Result) {
 // facts (dimensions, density) before calling. The returned result's label
 // map is pool-owned; release it with PutResult.
 func (e *Engine) Label(ctx context.Context, img *paremsp.Image, opt paremsp.Options) (*paremsp.Result, error) {
-	return e.submit(&job{ctx: ctx, img: img, opt: opt, done: make(chan jobResult, 1)})
+	r := e.submit(&job{ctx: ctx, img: img, opt: opt, done: make(chan jobResult, 1)})
+	return r.res, r.err
 }
 
 // LabelBitmap is Label for a bit-packed raster (algorithms AlgBREMSP /
@@ -167,20 +174,45 @@ func (e *Engine) Label(ctx context.Context, img *paremsp.Image, opt paremsp.Opti
 // contract Label applies to img: on every path the engine returns it to the
 // bitmap pool, so read any per-raster facts before calling.
 func (e *Engine) LabelBitmap(ctx context.Context, bm *paremsp.Bitmap, opt paremsp.Options) (*paremsp.Result, error) {
-	return e.submit(&job{ctx: ctx, bm: bm, opt: opt, done: make(chan jobResult, 1)})
+	r := e.submit(&job{ctx: ctx, bm: bm, opt: opt, done: make(chan jobResult, 1)})
+	return r.res, r.err
 }
 
-// reclaimInput returns the job's raster (whichever kind it carries) to its
-// pool.
+// Stats streams src through the out-of-core band labeler on the worker pool
+// and returns its component statistics. Unlike Label there is no raster to
+// pool: src is read incrementally on the worker goroutine, so the caller
+// must keep the underlying reader open until Stats returns — and Stats
+// always waits for the worker even when ctx fires, so an HTTP handler can
+// safely hand it a request body (the body is never touched after the
+// handler returns). A canceled job that is still queued is rejected by the
+// worker without reading src; one already streaming finishes early when
+// cancellation makes the source's reads fail. Backpressure (ErrQueueFull)
+// and Close (ErrClosed) behave as for Label. Note the pool implication:
+// a stream job occupies its worker for as long as the source delivers
+// bands, so slow uploads hold labeling capacity — deployments should bound
+// request read time (server timeouts) alongside MaxImageBytes.
+func (e *Engine) Stats(ctx context.Context, src band.Source, opt band.Options) (*band.Result, error) {
+	j := &job{
+		ctx:    ctx,
+		stream: func() (*band.Result, error) { return band.Stream(src, opt) },
+		done:   make(chan jobResult, 1),
+	}
+	r := e.submit(j)
+	return r.bres, r.err
+}
+
+// reclaimInput returns the job's raster (whichever kind it carries, if any)
+// to its pool.
 func (e *Engine) reclaimInput(j *job) {
-	if j.img != nil {
+	switch {
+	case j.img != nil:
 		e.imgPool.Put(j.img)
-	} else {
+	case j.bm != nil:
 		e.bmPool.Put(j.bm)
 	}
 }
 
-func (e *Engine) submit(j *job) (*paremsp.Result, error) {
+func (e *Engine) submit(j *job) jobResult {
 	e.metrics.requests.Add(1)
 	if j.opt.Threads == 0 {
 		j.opt.Threads = e.threads
@@ -191,7 +223,7 @@ func (e *Engine) submit(j *job) (*paremsp.Result, error) {
 		e.mu.RUnlock()
 		e.metrics.rejected.Add(1)
 		e.reclaimInput(j)
-		return nil, ErrClosed
+		return jobResult{err: ErrClosed}
 	}
 	select {
 	case e.queue <- j:
@@ -200,14 +232,23 @@ func (e *Engine) submit(j *job) (*paremsp.Result, error) {
 		e.mu.RUnlock()
 		e.metrics.rejected.Add(1)
 		e.reclaimInput(j)
-		return nil, ErrQueueFull
+		return jobResult{err: ErrQueueFull}
 	}
 	ctx := j.ctx
+
+	// Stream jobs read their source (an HTTP request body) on the worker, so
+	// returning before the worker finishes would let the engine touch the
+	// body after the handler has returned. Wait unconditionally: a queued
+	// job with a dead ctx is rejected by the worker's precheck, and a
+	// running one stops at the first failed read.
+	if j.stream != nil {
+		return <-j.done
+	}
 
 	// Once enqueued, the worker owns the raster and returns it to its pool.
 	select {
 	case r := <-j.done:
-		return r.res, r.err
+		return r
 	case <-ctx.Done():
 		e.metrics.canceled.Add(1)
 		// The worker may still pick the job up (and is the one holding the
@@ -218,7 +259,7 @@ func (e *Engine) submit(j *job) (*paremsp.Result, error) {
 				e.PutResult(r.res)
 			}
 		}()
-		return nil, ctx.Err()
+		return jobResult{err: ctx.Err()}
 	}
 }
 
@@ -246,6 +287,20 @@ func (e *Engine) worker() {
 			continue
 		}
 		e.metrics.inFlight.Add(1)
+		if j.stream != nil {
+			bres, err := j.stream()
+			e.metrics.inFlight.Add(-1)
+			if err != nil {
+				e.metrics.errors.Add(1)
+				j.done <- jobResult{err: err}
+				continue
+			}
+			e.metrics.completed.Add(1)
+			e.metrics.pixels.Add(int64(bres.Width) * int64(bres.Height))
+			e.metrics.components.Add(int64(bres.NumComponents))
+			j.done <- jobResult{bres: bres}
+			continue
+		}
 		lm := e.lmPool.Get().(*paremsp.LabelMap)
 		sc := e.scPool.Get().(*paremsp.Scratch)
 		var (

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	paremsp "repro"
+	"repro/internal/band"
 	"repro/internal/pnm"
 	"repro/internal/stream"
 )
@@ -50,7 +51,7 @@ type handler struct {
 }
 
 // NewHandler wraps an Engine in the service's HTTP surface: POST /v1/label,
-// GET /healthz, GET /metrics.
+// POST /v1/stats, GET /healthz, GET /metrics.
 func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
 	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm}
 	if h.maxBytes <= 0 {
@@ -61,6 +62,7 @@ func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/label", h.label)
+	mux.HandleFunc("POST /v1/stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -215,6 +217,107 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ctCCL)
 		stream.WriteLabels(w, res.Labels, res.NumComponents)
 	}
+}
+
+// statsResponse is the JSON body of a successful /v1/stats request.
+type statsResponse struct {
+	Width         int                  `json:"width"`
+	Height        int                  `json:"height"`
+	NumComponents int                  `json:"num_components"`
+	Density       float64              `json:"density"`
+	BandRows      int                  `json:"band_rows"`
+	Components    []statsComponentJSON `json:"components"`
+}
+
+type statsComponentJSON struct {
+	Label    int32      `json:"label"`
+	Area     int64      `json:"area"`
+	BBox     [4]int     `json:"bbox"` // min_x, min_y, max_x, max_y (inclusive)
+	Centroid [2]float64 `json:"centroid"`
+	Runs     int64      `json:"runs"`
+}
+
+// stats handles POST /v1/stats: the request body (raw PBM P4 or raw PGM P5)
+// is streamed through the out-of-core band labeler, so arbitrarily tall
+// images — chunked uploads included — are labeled in O(band) memory and
+// only their component statistics come back. Query parameters: level
+// (binarization threshold for P5), band (band height in rows, 0 = default).
+// The response is always JSON; there is no label raster to return.
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
+		http.Error(w, fmt.Sprintf("unsupported Accept %q (stats responses are %s)",
+			r.Header.Get("Accept"), ctJSON), http.StatusNotAcceptable)
+		return
+	}
+	level := h.level
+	bandRows := 0
+	q := r.URL.Query()
+	if v := q.Get("level"); v != "" {
+		lv, err := strconv.ParseFloat(v, 64)
+		if err != nil || lv < 0 || lv >= 1 {
+			http.Error(w, fmt.Sprintf("invalid level %q (want [0, 1))", v), http.StatusBadRequest)
+			return
+		}
+		level = lv
+	}
+	if v := q.Get("band"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("invalid band %q (want rows >= 0)", v), http.StatusBadRequest)
+			return
+		}
+		bandRows = n
+	}
+
+	src, err := pnm.NewBandReader(http.MaxBytesReader(w, r.Body, h.maxBytes), level)
+	if err != nil {
+		h.decodeError(w, err)
+		return
+	}
+	res, err := h.engine.Stats(r.Context(), src, band.Options{BandRows: bandRows})
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.As(err, &tooBig):
+			// The body ran over the cap mid-stream, after labeling began.
+			http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+
+	resp := statsResponse{
+		Width:         res.Width,
+		Height:        res.Height,
+		NumComponents: res.NumComponents,
+		BandRows:      bandRows,
+		Components:    make([]statsComponentJSON, len(res.Components)),
+	}
+	if resp.BandRows == 0 {
+		resp.BandRows = band.DefaultBandRows
+	}
+	if px := int64(res.Width) * int64(res.Height); px > 0 {
+		resp.Density = float64(res.ForegroundPixels) / float64(px)
+	}
+	for i, c := range res.Components {
+		resp.Components[i] = statsComponentJSON{
+			Label:    c.Label,
+			Area:     c.Area,
+			BBox:     [4]int{c.MinX, c.MinY, c.MaxX, c.MaxY},
+			Centroid: [2]float64{c.CentroidX, c.CentroidY},
+			Runs:     c.Runs,
+		}
+	}
+	w.Header().Set("Content-Type", ctJSON)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // decodeError writes the HTTP failure for a request-body decode error:

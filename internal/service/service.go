@@ -20,6 +20,12 @@
 //	                The response format follows Accept: JSON component
 //	                stats (default), a PGM or PNG label map, or a CCL1
 //	                label stream (application/x-ccl).
+//	POST /v1/stats  body = raw PBM (P4) or raw PGM (P5), streamed through
+//	                the out-of-core band labeler (internal/band) on the
+//	                same worker pool: arbitrarily tall images are labeled
+//	                in O(band) memory and only JSON component statistics
+//	                (area, bbox, centroid, run count) come back. Query
+//	                parameters: level, band (band height in rows).
 //	GET  /healthz   liveness probe.
 //	GET  /metrics   Prometheus-style text: requests, completions,
 //	                rejections, queue depth, and cumulative per-phase

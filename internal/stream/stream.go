@@ -1,8 +1,19 @@
 // Package stream labels images too large to hold in memory as pixel
 // rasters — the regime of the paper's NLCD experiments (up to 465.2 MB of
-// binary raster) on machines without the paper's 32 GB node.
+// binary raster) on machines without the paper's 32 GB node — and owns the
+// CCL1 label-stream format those labelings are exchanged in.
 //
-// The labeler makes the classic two-pass structure out-of-core:
+// Two out-of-core labelers write CCL1:
+//
+//   - LabelBands (the cmd/ccstream path) drives the fixed-memory band
+//     labeler of internal/band: resident memory is O(one band), independent
+//     of the image height, and per-component statistics come back for free.
+//   - LabelPBM is the original row-streaming decision-tree labeler below;
+//     its parent array still grows with the full image (one slot per
+//     possible provisional label, up to ceil(w/2)*ceil(h/2)), so LabelBands
+//     supersedes it for very tall rasters.
+//
+// LabelPBM makes the classic two-pass structure out-of-core:
 //
 //	pass 1: the PBM (P4) stream is decoded row by row; the decision-tree
 //	        scan runs with only two rows of pixels and two rows of labels
@@ -28,6 +39,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/band"
 	"repro/internal/binimg"
 	"repro/internal/scan"
 	"repro/internal/unionfind"
@@ -164,6 +176,68 @@ func LabelPBM(r io.Reader, spill io.ReadWriteSeeker, out io.Writer) (int, error)
 		return 0, err
 	}
 	return int(n), nil
+}
+
+// LabelBands labels the image delivered by src with the fixed-memory band
+// labeler (internal/band) and writes a CCL1 label stream to out. During the
+// single streaming pass each row's provisional global component ids spill to
+// spill (written front to back, one int32 per pixel); once the stream
+// completes — and the final component numbering is known — the spill is
+// re-read sequentially and rewritten as final labels. Unlike LabelPBM, whose
+// parent array grows with the full image (O(w*h/4) labels), resident memory
+// here is O(one band + component table): the equivalence state resets every
+// band and only the seam runs cross band boundaries.
+//
+// bandRows selects the band height (0 = band.DefaultBandRows). Returns the
+// band labeler's result: component count plus per-component statistics.
+func LabelBands(src band.Source, spill io.ReadWriteSeeker, out io.Writer, bandRows int) (*band.Result, error) {
+	w, h := src.Width(), src.Height()
+	sw := bufio.NewWriterSize(spill, 1<<16)
+	rowBytes := make([]byte, 4*w)
+	emit := func(y int, runs []binimg.Run, resolve func(Label) Label) error {
+		clear(rowBytes)
+		for _, r := range runs {
+			id := uint32(resolve(r.Label))
+			for x := int(r.Start); x < int(r.End); x++ {
+				binary.LittleEndian.PutUint32(rowBytes[4*x:], id)
+			}
+		}
+		if _, err := sw.Write(rowBytes); err != nil {
+			return fmt.Errorf("stream: spilling row %d: %w", y, err)
+		}
+		return nil
+	}
+	res, err := band.Stream(src, band.Options{BandRows: bandRows, EmitRow: emit})
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Flush(); err != nil {
+		return nil, fmt.Errorf("stream: flushing spill: %w", err)
+	}
+	if _, err := spill.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("stream: rewinding spill: %w", err)
+	}
+	sr := bufio.NewReaderSize(spill, 1<<16)
+	bw := bufio.NewWriterSize(out, 1<<16)
+	if err := writeHeader(bw, w, h, res.NumComponents); err != nil {
+		return nil, err
+	}
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(sr, rowBytes); err != nil {
+			return nil, fmt.Errorf("stream: reading spill row %d: %w", y, err)
+		}
+		for x := 0; x < w; x++ {
+			prov := Label(binary.LittleEndian.Uint32(rowBytes[4*x:]))
+			binary.LittleEndian.PutUint32(rowBytes[4*x:], uint32(res.FinalLabel(prov)))
+		}
+		if _, err := bw.Write(rowBytes); err != nil {
+			return nil, fmt.Errorf("stream: writing row %d: %w", y, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func readP4Header(br *bufio.Reader) (int, int, error) {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/binimg"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/pnm"
 	"repro/internal/stats"
 )
@@ -374,6 +375,63 @@ func LabelStream(r io.Reader, opt StreamOptions) (*StreamResult, error) {
 		return nil, err
 	}
 	return band.Stream(src, band.Options{BandRows: opt.BandRows})
+}
+
+// JobState is the lifecycle state of an asynchronous labeling job in the
+// HTTP service's job API: a job is created JobQueued, moves to JobRunning
+// when a pool worker picks it up, and finishes JobDone (result retained
+// until its TTL lapses) or JobFailed.
+type JobState = jobs.State
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = jobs.StateQueued
+	JobRunning JobState = jobs.StateRunning
+	JobDone    JobState = jobs.StateDone
+	JobFailed  JobState = jobs.StateFailed
+)
+
+// JobKind selects what an asynchronous job computes: a full labeling
+// (renderable as JSON, PGM, PNG or a CCL1 stream) or streaming component
+// statistics (JSON only, computed out-of-core by the band labeler).
+type JobKind = jobs.Kind
+
+// Job kinds.
+const (
+	JobLabels JobKind = jobs.KindLabels
+	JobStats  JobKind = jobs.KindStats
+)
+
+// JobStoreOptions sizes the service's asynchronous job store: the number of
+// mutex-sharded job maps, how long finished results are retained before the
+// background sweeper evicts them, and the sweep period. The zero value
+// selects 16 shards, a 15-minute TTL and a TTL/4 sweep.
+type JobStoreOptions = jobs.Options
+
+// JobKey derives the job API's deduplication key (which doubles as the job
+// ID) for a request tuple: the SHA-256 of the output kind, algorithm,
+// connectivity, binarization level and raw input bytes, truncated to its
+// first 128 bits (32 hex characters). It applies exactly
+// the normalization the service applies before hashing — an empty algorithm
+// means the default (AlgPAREMSP), connectivity 0 means 8, stats jobs always
+// key as the band labeler (their algorithm and connectivity inputs are
+// ignored), and the level is zeroed for raw PBM (P4) bodies, which no level
+// can affect — so the returned ID matches what POST /v1/jobs assigns to the
+// same submission.
+func JobKey(kind JobKind, alg Algorithm, connectivity int, level float64, body []byte) string {
+	if len(body) >= 2 && body[0] == 'P' && body[1] == '4' {
+		level = 0
+	}
+	if kind == JobStats {
+		return jobs.Key(kind, "stream", 8, level, body)
+	}
+	if alg == "" {
+		alg = AlgPAREMSP
+	}
+	if connectivity == 0 {
+		connectivity = 8
+	}
+	return jobs.Key(kind, string(alg), connectivity, level, body)
 }
 
 // CountComponents labels img with AREMSP and returns only the component

@@ -3,15 +3,29 @@
 // Usage:
 //
 //	ccserve [-addr :8377] [-workers 0] [-queue 0] [-threads 0]
-//	        [-max-bytes 67108864] [-level 0.5]
+//	        [-max-bytes 67108864] [-level 0.5] [-alg paremsp]
+//	        [-jobs] [-job-ttl 15m] [-job-shards 0] [-job-max-bytes 0]
 //
 // The server labels images POSTed to /v1/label (PBM/PGM/PNG body; the
 // response format follows the Accept header: JSON component statistics,
 // a PGM or PNG label map, or a CCL1 label stream) on a bounded worker
-// pool, answering 429 when the queue is full. /healthz is a liveness
-// probe and /metrics exposes request counters and cumulative per-phase
-// timings in Prometheus text format. SIGINT or SIGTERM triggers a
-// graceful shutdown.
+// pool, answering 429 with a latency-derived Retry-After when the queue
+// is full. POST /v1/stats streams raw PBM/PGM through the out-of-core
+// band labeler and returns component statistics.
+//
+// POST /v1/jobs is the asynchronous job API (disable with -jobs=false):
+// a single image or a multipart/form-data batch is accepted with 202 and
+// labeled in the background; poll GET /v1/jobs/{id}, fetch
+// GET /v1/jobs/{id}/result, and DELETE /v1/jobs/{id} when done. Identical
+// submissions (same bytes, algorithm, connectivity, level and kind)
+// deduplicate to the same job, and finished results are retained for
+// -job-ttl before a background sweeper evicts them from the -job-shards
+// sharded store; total retained result memory is capped at -job-max-bytes
+// (default 512 MiB), evicting oldest results first beyond it.
+//
+// /healthz is a liveness probe and /metrics exposes request counters,
+// cumulative per-phase timings and job-state gauges in Prometheus text
+// format. SIGINT or SIGTERM triggers a graceful shutdown.
 package main
 
 import (

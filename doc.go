@@ -93,5 +93,31 @@
 // worker pool with sync.Pool-managed rasters and backpressure, and its HTTP
 // handler (cmd/ccserve) serves POST /v1/label with JSON statistics, PGM/PNG
 // label maps, or CCL1 label streams, plus /healthz and /metrics with the
-// per-phase timings above as live counters.
+// per-phase timings above as live counters. When the queue is full the
+// service answers 429 with a Retry-After derived from the observed mean job
+// latency and the current backlog.
+//
+// # Asynchronous jobs
+//
+// The synchronous endpoints hold their HTTP connection for the whole
+// computation; the job API (internal/jobs, enabled by default in ccserve,
+// -jobs=false disables) decouples submission from retrieval. POST /v1/jobs
+// accepts one image or a multipart/form-data batch and answers 202 with one
+// job per image; jobs run in the background on the same engine pool and are
+// observable as queued → running → done/failed via GET /v1/jobs/{id}, with
+// results fetched from GET /v1/jobs/{id}/result (the /v1/label formats for
+// kind=labels, JSON statistics for kind=stats) and released early with
+// DELETE /v1/jobs/{id}.
+//
+// A job's ID is the truncated (128-bit) SHA-256 of its request tuple —
+// input bytes, algorithm, connectivity, binarization level and output kind
+// (JobKey computes it, normalization included) —
+// so identical submissions deduplicate to the same job and its cached
+// result instead of recomputing; failed and expired jobs are replaced on
+// resubmission. Finished jobs are retained in a mutex-sharded store
+// (JobStoreOptions: ccserve -job-shards, -job-ttl) until a background
+// sweeper evicts them TTL after completion; retained result memory is
+// additionally capped (-job-max-bytes, default 512 MiB) with oldest-first
+// overflow eviction. The JobState and JobKind types name the wire states
+// and kinds.
 package paremsp

@@ -27,6 +27,7 @@ import (
 	"repro/internal/binimg"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/pnm"
 	"repro/internal/service"
 	"repro/internal/stream"
@@ -292,6 +293,10 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	maxBytes := fs.Int64("max-bytes", 64<<20, "largest accepted image body in bytes")
 	level := fs.Float64("level", 0.5, "default binarization threshold for grayscale input, in (0, 1); per-request ?level= accepts [0, 1)")
 	alg := fs.String("alg", "", "default algorithm for requests without ?alg= (default paremsp): "+algList())
+	jobsOn := fs.Bool("jobs", true, "enable the asynchronous job API (/v1/jobs)")
+	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "retain finished job results this long before eviction")
+	jobShards := fs.Int("job-shards", 0, "job store shard count (0 = 16)")
+	jobMaxBytes := fs.Int64("job-max-bytes", 0, "cap on retained job-result bytes; oldest results evicted beyond it (0 = 512 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -312,13 +317,31 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccserve: unknown -alg %q (want %s)\n", *alg, algList())
 		return 2
 	}
+	if *jobsOn && *jobTTL <= 0 {
+		fmt.Fprintln(stderr, "ccserve: -job-ttl must be positive")
+		return 2
+	}
+	if *jobShards < 0 {
+		fmt.Fprintln(stderr, "ccserve: -job-shards must be >= 0")
+		return 2
+	}
+	if *jobMaxBytes < 0 {
+		fmt.Fprintln(stderr, "ccserve: -job-max-bytes must be >= 0")
+		return 2
+	}
 
+	var store *jobs.Store
+	if *jobsOn {
+		store = jobs.NewStore(jobs.Options{Shards: *jobShards, TTL: *jobTTL, MaxResultBytes: *jobMaxBytes})
+		defer store.Close()
+	}
 	eng := service.NewEngine(service.Config{Workers: *workers, QueueDepth: *queue, Threads: *threads})
 	srv := &http.Server{
 		Handler: service.NewHandler(eng, service.HandlerConfig{
 			MaxImageBytes:    *maxBytes,
 			Level:            *level,
 			DefaultAlgorithm: paremsp.Algorithm(*alg),
+			Jobs:             store,
 		}),
 		// Streaming endpoints (/v1/stats) read the body on a pool worker, so
 		// a stalled client holds labeling capacity; bound at least the header
@@ -337,8 +360,12 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "ccserve: listening on %s (%d workers, queue %d)\n",
-		ln.Addr(), eng.Workers(), eng.QueueDepth())
+	jobsState := "off"
+	if store != nil {
+		jobsState = fmt.Sprintf("ttl %v", store.TTL())
+	}
+	fmt.Fprintf(stdout, "ccserve: listening on %s (%d workers, queue %d, jobs %s)\n",
+		ln.Addr(), eng.Workers(), eng.QueueDepth(), jobsState)
 
 	select {
 	case err := <-errCh:

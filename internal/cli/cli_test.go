@@ -230,6 +230,10 @@ func TestCCServeBadFlags(t *testing.T) {
 		{"-max-bytes", "-5"},
 		{"-level", "0"},
 		{"-level", "1.5"},
+		{"-job-ttl", "-1s"},
+		{"-job-ttl", "0s"},
+		{"-job-shards", "-3"},
+		{"-job-max-bytes", "-1"},
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := cli.CCServe(args, &stdout, &stderr); code != 2 {

@@ -1,0 +1,564 @@
+// Package jobs implements the asynchronous batch-job subsystem of the
+// labeling service: a sharded in-memory store of submitted labelings with
+// content-hash deduplication and TTL eviction of finished results.
+//
+// A job's ID is the SHA-256 of its request tuple — input bytes, algorithm,
+// connectivity, binarization level and output kind (see Key) — so the ID
+// doubles as the dedup key: submitting an identical request finds the
+// existing job and returns its cached result instead of recomputing.
+// Jobs move queued → running → done/failed. Finished jobs (results and
+// failures alike) are retained for the store's TTL and then evicted by a
+// background sweeper goroutine; a Get after the deadline evicts lazily, so
+// expiry is observable without waiting for the next sweep tick. Queued and
+// running jobs are never evicted.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/band"
+	"repro/internal/binimg"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states. A job is created queued, moves to running when a
+// pool worker picks it up, and ends done (result available) or failed
+// (Job.Err explains why).
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Finished reports whether s is a terminal state (done or failed).
+func (s State) Finished() bool { return s == StateDone || s == StateFailed }
+
+// Kind is what a job computes: a full labeling (results renderable as
+// JSON/PGM/PNG/CCL1) or streaming component statistics (JSON only).
+type Kind string
+
+// Job kinds.
+const (
+	KindLabels Kind = "labels"
+	KindStats  Kind = "stats"
+)
+
+// Result is a finished job's payload. Exactly one of Labels and Stats is
+// set, matching the job's Kind; both are immutable once stored.
+type Result struct {
+	// Labels is the label raster of a KindLabels job.
+	Labels *binimg.LabelMap
+	// Components caches a KindLabels job's per-component statistics,
+	// computed once at completion so result fetches never rescan the
+	// raster on the serving goroutine.
+	Components []stats.Component
+	// Stats is the streaming statistics of a KindStats job.
+	Stats *band.Result
+
+	// NumComponents, Width, Height and Density describe the labeled image
+	// for either kind.
+	NumComponents int
+	Width, Height int
+	Density       float64
+	// BandRows is the band height a KindStats job streamed with (0 = the
+	// default); execution detail only, deliberately outside the dedup key.
+	BandRows int
+	// Phases holds per-phase times when the parallel algorithms produced
+	// the labeling; zero otherwise.
+	Phases core.PhaseTimes
+}
+
+// Job is a point-in-time snapshot of one stored job. Get and CreateOrGet
+// return copies, so fields never change under the caller; Result is shared
+// but immutable once the job is done.
+type Job struct {
+	// ID is the job's content-hash identifier (see Key).
+	ID string
+	// Gen is the entry's creation generation, unique per CreateOrGet that
+	// creates (or replaces) the entry. The transition methods target a
+	// generation, so a stale goroutine finishing a deleted-then-resubmitted
+	// job cannot touch the replacement entry that reuses its ID.
+	Gen uint64
+	// Kind is what the job computes.
+	Kind Kind
+	// State is the lifecycle state at snapshot time.
+	State State
+	// QueuePos is the approximate engine queue length (including this job)
+	// when the job was admitted; 0 before admission completes.
+	QueuePos int
+	// Err is the failure reason of a failed job.
+	Err string
+	// Created, Started and Finished are the transition times; Started and
+	// Finished are zero until the job reaches the corresponding state.
+	Created, Started, Finished time.Time
+	// ExpiresAt is when the sweeper may evict the job; zero while the job
+	// is queued or running.
+	ExpiresAt time.Time
+	// Result is the payload of a done job, nil otherwise.
+	Result *Result
+}
+
+// Key derives a job ID from the request tuple: the output kind, the
+// resolved algorithm name, the connectivity, the binarization level and the
+// raw input bytes, hashed with SHA-256 and truncated to the first 128 bits
+// (32 hex characters). Identical tuples hash to the same ID, which is how
+// deduplication works; anything that changes the output (a different
+// algorithm, a different threshold for grayscale input) must be part of the
+// tuple, while knobs that only change the execution (thread count, band
+// height) must not be. Callers should pass level 0 for inputs the level
+// cannot affect (raw PBM) so those submissions dedup across levels.
+func Key(kind Kind, alg string, conn int, level float64, body []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00", kind, alg, conn)
+	var lv [8]byte
+	binary.LittleEndian.PutUint64(lv[:], math.Float64bits(level))
+	h.Write(lv[:])
+	h.Write(body)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Options sizes a Store.
+type Options struct {
+	// Shards is the number of mutex-sharded job maps. 0 selects 16.
+	Shards int
+	// TTL is how long finished jobs (and their results) are retained.
+	// 0 selects 15 minutes.
+	TTL time.Duration
+	// SweepEvery is the background sweeper's period. 0 selects TTL/4,
+	// clamped to [100ms, 1m].
+	SweepEvery time.Duration
+	// MaxResultBytes caps the total bytes the store retains: result
+	// payloads (label rasters dominate at 4 bytes per pixel) plus a fixed
+	// per-entry overhead, so floods of tiny or failed jobs are bounded
+	// too, not just large results. When a transition pushes the total
+	// over the cap, the oldest finished jobs are evicted down to a low
+	//-water mark, so the store stays bounded even under a stream of
+	// distinct (non-dedupable) submissions that TTL alone would retain
+	// for minutes. 0 selects 512 MiB.
+	MaxResultBytes int64
+}
+
+// entryOverheadBytes is the per-entry charge against MaxResultBytes: an
+// approximation of the Job struct, its strings, and map bookkeeping. It
+// makes entry count — not only result payload — answer to the cap.
+const entryOverheadBytes = 512
+
+// Counts is a point-in-time census of the store, for the /metrics endpoint:
+// per-state gauges plus cumulative submission, dedup-hit and eviction
+// counters.
+type Counts struct {
+	Queued, Running, Done, Failed int64
+	Submitted                     int64
+	DedupHits                     int64
+	Evicted                       int64
+	// ResultBytes is the estimated memory currently pinned by retained
+	// results (bounded by Options.MaxResultBytes plus one result).
+	ResultBytes int64
+}
+
+// entry is the store's mutable record behind the Job snapshots. size is
+// the retained-byte accounting of the entry's result (0 until done).
+type entry struct {
+	job  Job
+	size int64
+}
+
+type shard struct {
+	mu   sync.Mutex
+	jobs map[string]*entry
+}
+
+// Store keeps jobs in N mutex-sharded maps keyed by job ID. All methods are
+// safe for concurrent use; NewStore starts the TTL sweeper and Close stops
+// it (the store itself remains usable after Close, only eviction becomes
+// lazy).
+type Store struct {
+	shards   []shard
+	ttl      time.Duration
+	maxBytes int64
+
+	// retained is the total result bytes currently held across shards.
+	retained atomic.Int64
+	// gen issues Job.Gen values.
+	gen atomic.Uint64
+
+	submitted atomic.Int64
+	dedupHits atomic.Int64
+	evicted   atomic.Int64
+
+	// Per-state gauges, maintained at every transition (always under the
+	// owning shard's lock) so Counts never scans the shards — a /metrics
+	// scrape must not stall submissions behind an O(jobs) walk.
+	queued, running, done, failed atomic.Int64
+
+	// now is the clock, injected via newStore so tests drive TTL expiry.
+	now func() time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	swept    sync.WaitGroup
+}
+
+// NewStore builds a store per opt and starts its sweeper goroutine.
+func NewStore(opt Options) *Store {
+	return newStore(opt, time.Now)
+}
+
+// newStore is NewStore with an injectable clock; the clock must be set
+// before the sweeper goroutine starts, so tests use this instead of
+// overwriting the field afterwards.
+func newStore(opt Options, now func() time.Time) *Store {
+	n := opt.Shards
+	if n <= 0 {
+		n = 16
+	}
+	ttl := opt.TTL
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	sweep := opt.SweepEvery
+	if sweep <= 0 {
+		sweep = ttl / 4
+		if sweep < 100*time.Millisecond {
+			sweep = 100 * time.Millisecond
+		}
+		if sweep > time.Minute {
+			sweep = time.Minute
+		}
+	}
+	maxBytes := opt.MaxResultBytes
+	if maxBytes <= 0 {
+		maxBytes = 512 << 20
+	}
+	s := &Store{
+		shards:   make([]shard, n),
+		ttl:      ttl,
+		maxBytes: maxBytes,
+		now:      now,
+		stop:     make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*entry)
+	}
+	s.swept.Add(1)
+	go s.sweeper(sweep)
+	return s
+}
+
+// Close stops the background sweeper. It does not drop stored jobs; Get
+// still evicts expired ones lazily.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.swept.Wait()
+}
+
+// TTL returns the store's retention for finished jobs.
+func (s *Store) TTL() time.Duration { return s.ttl }
+
+func (s *Store) shardFor(id string) *shard {
+	// Inline FNV-1a: shardFor runs on every store operation and the
+	// hash.Hash32 from fnv.New32a would heap-allocate each time.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+func (s *Store) stateGauge(st State) *atomic.Int64 {
+	switch st {
+	case StateQueued:
+		return &s.queued
+	case StateRunning:
+		return &s.running
+	case StateDone:
+		return &s.done
+	default:
+		return &s.failed
+	}
+}
+
+// shift accounts one job moving between states; "" means created/removed.
+func (s *Store) shift(from, to State) {
+	if from != "" {
+		s.stateGauge(from).Add(-1)
+	}
+	if to != "" {
+		s.stateGauge(to).Add(1)
+	}
+}
+
+// dropLocked removes the already-looked-up entry from sh, which the caller
+// holds locked, unwinding its gauge and retained-byte accounting.
+func (s *Store) dropLocked(sh *shard, id string, e *entry) {
+	delete(sh.jobs, id)
+	s.retained.Add(-e.size)
+	s.shift(e.job.State, "")
+}
+
+// resultBytes estimates how much memory a retained result pins: the label
+// raster dominates at 4 bytes per pixel; stats components are ~64 bytes
+// each.
+func resultBytes(r *Result) int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	if r.Labels != nil {
+		n += int64(cap(r.Labels.L)) * 4
+	}
+	n += int64(len(r.Components)) * 64
+	if r.Stats != nil {
+		n += int64(len(r.Stats.Components)) * 64
+	}
+	return n
+}
+
+// CreateOrGet is the dedup gate: if a live job with this ID exists, it
+// returns that job's snapshot and existed=true (a dedup hit — queued,
+// running and done jobs all count). Otherwise it creates a fresh queued job
+// and returns existed=false; a failed or expired job under the same ID is
+// replaced rather than returned, so clients can retry failed submissions.
+func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
+	sh := s.shardFor(id)
+	now := s.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.jobs[id]; ok {
+		expired := !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt)
+		if e.job.State != StateFailed && !expired {
+			s.dedupHits.Add(1)
+			return e.job, true
+		}
+		if expired {
+			s.evicted.Add(1)
+		}
+		// Failed or expired: drop it and replace with a fresh job.
+		s.dropLocked(sh, id, e)
+	}
+	e := &entry{
+		job:  Job{ID: id, Gen: s.gen.Add(1), Kind: kind, State: StateQueued, Created: now},
+		size: entryOverheadBytes,
+	}
+	sh.jobs[id] = e
+	s.submitted.Add(1)
+	s.retained.Add(entryOverheadBytes)
+	s.shift("", StateQueued)
+	return e.job, false
+}
+
+// SetQueuePos records the engine queue position observed when the job was
+// admitted; a no-op if the job (that exact generation) is gone.
+func (s *Store) SetQueuePos(id string, gen uint64, pos int) {
+	s.update(id, gen, func(j *Job) { j.QueuePos = pos })
+}
+
+// Start moves a queued job to running; a no-op if the job (that exact
+// generation) is gone.
+func (s *Store) Start(id string, gen uint64) {
+	s.update(id, gen, func(j *Job) {
+		if j.State == StateQueued {
+			s.shift(StateQueued, StateRunning)
+			j.State = StateRunning
+			j.Started = s.now()
+		}
+	})
+}
+
+// Complete moves a job to done with its result and arms TTL eviction; a
+// no-op if the job was deleted while running (the result is dropped), or
+// if the entry under this ID is a different generation (the job was
+// deleted and an identical submission recreated it — that submission's own
+// computation delivers its result). If the retained results now exceed the
+// store's byte cap, the oldest finished jobs are evicted to make room.
+func (s *Store) Complete(id string, gen uint64, r *Result) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if e, ok := sh.jobs[id]; ok && e.job.Gen == gen && !e.job.State.Finished() {
+		s.shift(e.job.State, StateDone)
+		e.job.State = StateDone
+		e.job.Result = r
+		e.job.Finished = s.now()
+		e.job.ExpiresAt = e.job.Finished.Add(s.ttl)
+		e.size += resultBytes(r)
+		s.retained.Add(resultBytes(r))
+	}
+	sh.mu.Unlock()
+	if s.retained.Load() > s.maxBytes {
+		s.evictOverflow()
+	}
+}
+
+// evictOverflow evicts finished jobs oldest-first until the retained
+// bytes drop to a low-water mark (90% of the cap, so a store sitting at
+// the cap does not rescan on every completion — each scan buys ~10% of
+// the cap in headroom), always sparing the most recently finished job (so
+// the submission that triggered the overflow still serves its result at
+// least once — the cap can transiently overshoot by that one result).
+// Best effort: candidates are snapshotted shard by shard, so a racing
+// Complete may briefly exceed the cap too.
+func (s *Store) evictOverflow() {
+	lowWater := s.maxBytes / 10 * 9
+	type cand struct {
+		id       string
+		sh       *shard
+		finished time.Time
+	}
+	var cands []cand
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.jobs {
+			if e.job.State.Finished() {
+				cands = append(cands, cand{id, sh, e.job.Finished})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].finished.Before(cands[j].finished) })
+	for _, c := range cands[:max(len(cands)-1, 0)] {
+		if s.retained.Load() <= lowWater {
+			return
+		}
+		c.sh.mu.Lock()
+		if e, ok := c.sh.jobs[c.id]; ok && e.job.State.Finished() {
+			s.dropLocked(c.sh, c.id, e)
+			s.evicted.Add(1)
+		}
+		c.sh.mu.Unlock()
+	}
+}
+
+// Fail moves a job to failed with err as the reason and arms TTL eviction;
+// a no-op if the job was deleted while running or superseded by a newer
+// generation (see Complete).
+func (s *Store) Fail(id string, gen uint64, err error) {
+	s.update(id, gen, func(j *Job) {
+		if j.State.Finished() {
+			return
+		}
+		s.shift(j.State, StateFailed)
+		j.State = StateFailed
+		j.Err = err.Error()
+		j.Finished = s.now()
+		j.ExpiresAt = j.Finished.Add(s.ttl)
+	})
+	// Failed entries carry no result but still occupy their overhead
+	// charge; a flood of them must trigger eviction like results do.
+	if s.retained.Load() > s.maxBytes {
+		s.evictOverflow()
+	}
+}
+
+func (s *Store) update(id string, gen uint64, f func(*Job)) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if e, ok := sh.jobs[id]; ok && e.job.Gen == gen {
+		f(&e.job)
+	}
+	sh.mu.Unlock()
+}
+
+// Get returns a snapshot of the job, evicting it first if its TTL has
+// lapsed (so expiry is observable without waiting for the sweeper).
+func (s *Store) Get(id string) (Job, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	if !e.job.ExpiresAt.IsZero() && s.now().After(e.job.ExpiresAt) {
+		s.dropLocked(sh, id, e)
+		s.evicted.Add(1)
+		return Job{}, false
+	}
+	return e.job, true
+}
+
+// Remove deletes the job, reporting whether it existed. Removing a running
+// job is allowed: its eventual Complete/Fail becomes a no-op and the result
+// is dropped.
+func (s *Store) Remove(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.jobs[id]
+	if ok {
+		s.dropLocked(sh, id, e)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of stored jobs across all shards.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.jobs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Counts reads the per-state gauges and cumulative counters. O(1): the
+// gauges are maintained at every transition, never by scanning.
+func (s *Store) Counts() Counts {
+	return Counts{
+		Queued:      s.queued.Load(),
+		Running:     s.running.Load(),
+		Done:        s.done.Load(),
+		Failed:      s.failed.Load(),
+		Submitted:   s.submitted.Load(),
+		DedupHits:   s.dedupHits.Load(),
+		Evicted:     s.evicted.Load(),
+		ResultBytes: s.retained.Load(),
+	}
+}
+
+func (s *Store) sweeper(every time.Duration) {
+	defer s.swept.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sweep()
+		}
+	}
+}
+
+// sweep evicts every finished job whose TTL has lapsed.
+func (s *Store) sweep() {
+	now := s.now()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.jobs {
+			if !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt) {
+				s.dropLocked(sh, id, e)
+				s.evicted.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

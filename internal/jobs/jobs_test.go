@@ -1,0 +1,370 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/binimg"
+)
+
+// newTestStore builds a store whose clock the test controls. The sweeper
+// still runs on wall time but sees the fake clock, so tests advance expiry
+// deterministically; the clock is injected before the sweeper starts so
+// there is no unsynchronized write to s.now.
+func newTestStore(t *testing.T, opt Options) (*Store, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Now()}
+	s := newStore(opt, clk.Now)
+	t.Cleanup(s.Close)
+	return s, clk
+}
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestKeyTupleSensitivity(t *testing.T) {
+	body := []byte("P4\n5 4\nxxx")
+	base := Key(KindLabels, "paremsp", 8, 0, body)
+	if got := Key(KindLabels, "paremsp", 8, 0, body); got != base {
+		t.Fatalf("identical tuples hash differently: %s vs %s", got, base)
+	}
+	for name, other := range map[string]string{
+		"kind": Key(KindStats, "paremsp", 8, 0, body),
+		"alg":  Key(KindLabels, "bremsp", 8, 0, body),
+		"conn": Key(KindLabels, "paremsp", 4, 0, body),
+		"lvl":  Key(KindLabels, "paremsp", 8, 0.25, body),
+		"body": Key(KindLabels, "paremsp", 8, 0, []byte("P4\n5 4\nyyy")),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	if len(base) != 32 {
+		t.Fatalf("key length %d, want 32 hex chars", len(base))
+	}
+}
+
+func TestCreateOrGetDedup(t *testing.T) {
+	s, _ := newTestStore(t, Options{Shards: 4, TTL: time.Hour})
+	id := Key(KindLabels, "paremsp", 8, 0, []byte("img"))
+
+	j, existed := s.CreateOrGet(id, KindLabels)
+	if existed {
+		t.Fatal("first CreateOrGet reported an existing job")
+	}
+	if j.State != StateQueued || j.ID != id {
+		t.Fatalf("fresh job = %+v", j)
+	}
+
+	// Queued, running and done jobs all dedup.
+	for _, step := range []func(){
+		func() {},
+		func() { s.Start(id, j.Gen) },
+		func() { s.Complete(id, j.Gen, &Result{NumComponents: 3}) },
+	} {
+		step()
+		if _, existed := s.CreateOrGet(id, KindLabels); !existed {
+			t.Fatalf("dedup miss after %v", s.mustState(t, id))
+		}
+	}
+	if got := s.Counts(); got.DedupHits != 3 || got.Submitted != 1 {
+		t.Fatalf("counts = %+v, want 3 dedup hits / 1 submitted", got)
+	}
+
+	// A failed job is replaced by a resubmission, not returned.
+	id2 := Key(KindLabels, "paremsp", 8, 0, []byte("bad"))
+	jb, _ := s.CreateOrGet(id2, KindLabels)
+	s.Fail(id2, jb.Gen, errors.New("boom"))
+	j2, existed := s.CreateOrGet(id2, KindLabels)
+	if existed {
+		t.Fatal("failed job deduplicated; want replacement")
+	}
+	if j2.State != StateQueued || j2.Err != "" {
+		t.Fatalf("replacement job = %+v", j2)
+	}
+}
+
+// mustState fetches the job's state for test diagnostics.
+func (s *Store) mustState(t *testing.T, id string) State {
+	t.Helper()
+	j, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
+	}
+	return j.State
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	s, clk := newTestStore(t, Options{TTL: time.Minute})
+	id := "job-1"
+	created, _ := s.CreateOrGet(id, KindStats)
+	gen := created.Gen
+
+	j, _ := s.Get(id)
+	if j.State != StateQueued || !j.Started.IsZero() || !j.ExpiresAt.IsZero() {
+		t.Fatalf("queued snapshot = %+v", j)
+	}
+
+	s.SetQueuePos(id, gen, 7)
+	s.Start(id, gen)
+	j, _ = s.Get(id)
+	if j.State != StateRunning || j.QueuePos != 7 || j.Started.IsZero() {
+		t.Fatalf("running snapshot = %+v", j)
+	}
+	// Start is idempotent: a second Start must not reset the timestamp.
+	started := j.Started
+	clk.Advance(time.Second)
+	s.Start(id, gen)
+	if j, _ = s.Get(id); !j.Started.Equal(started) {
+		t.Fatal("second Start moved the started timestamp")
+	}
+
+	res := &Result{NumComponents: 2, Width: 5, Height: 4}
+	s.Complete(id, gen, res)
+	j, _ = s.Get(id)
+	if j.State != StateDone || j.Result != res || j.Finished.IsZero() {
+		t.Fatalf("done snapshot = %+v", j)
+	}
+	if want := j.Finished.Add(time.Minute); !j.ExpiresAt.Equal(want) {
+		t.Fatalf("ExpiresAt = %v, want finished+TTL %v", j.ExpiresAt, want)
+	}
+
+	// Terminal states are sticky: a late Fail must not clobber the result.
+	s.Fail(id, gen, errors.New("late"))
+	if j, _ = s.Get(id); j.State != StateDone {
+		t.Fatalf("late Fail overwrote done: %+v", j)
+	}
+}
+
+// TestStaleGenerationIgnored covers the delete-while-running + resubmit
+// race: the first computation's completion targets the old generation and
+// must not touch the replacement entry that reuses the content-hash ID.
+func TestStaleGenerationIgnored(t *testing.T) {
+	s, _ := newTestStore(t, Options{TTL: time.Hour})
+	old, _ := s.CreateOrGet("id", KindStats)
+	s.Start("id", old.Gen)
+	s.Remove("id") // client deletes the running job
+	fresh, existed := s.CreateOrGet("id", KindStats)
+	if existed || fresh.Gen == old.Gen {
+		t.Fatalf("replacement = %+v (existed %v), want a fresh generation", fresh, existed)
+	}
+
+	// The stale goroutine finishes: none of its transitions may land.
+	s.Start("id", old.Gen)
+	s.Complete("id", old.Gen, &Result{BandRows: 7})
+	s.Fail("id", old.Gen, errors.New("stale"))
+	j, ok := s.Get("id")
+	if !ok || j.State != StateQueued || j.Result != nil || !j.Started.IsZero() {
+		t.Fatalf("stale transitions leaked into replacement: %+v", j)
+	}
+
+	// The replacement's own completion still works.
+	s.Complete("id", fresh.Gen, &Result{BandRows: 64})
+	if j, _ := s.Get("id"); j.State != StateDone || j.Result.BandRows != 64 {
+		t.Fatalf("replacement completion = %+v", j)
+	}
+}
+
+func TestCompleteAfterRemoveIsDropped(t *testing.T) {
+	s, _ := newTestStore(t, Options{})
+	jg, _ := s.CreateOrGet("gone", KindLabels)
+	if !s.Remove("gone") {
+		t.Fatal("Remove reported missing job")
+	}
+	s.Complete("gone", jg.Gen, &Result{}) // must not resurrect
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("Complete resurrected a removed job")
+	}
+	if s.Remove("gone") {
+		t.Fatal("second Remove reported success")
+	}
+}
+
+func TestGetLazyExpiry(t *testing.T) {
+	s, clk := newTestStore(t, Options{TTL: time.Minute})
+	ja, _ := s.CreateOrGet("a", KindLabels)
+	s.Complete("a", ja.Gen, &Result{})
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("job expired before TTL")
+	}
+	clk.Advance(time.Minute + time.Second)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get returned an expired job")
+	}
+	if got := s.Counts().Evicted; got != 1 {
+		t.Fatalf("evicted = %d, want 1", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after eviction, want 0", s.Len())
+	}
+}
+
+func TestExpiredJobIsReplacedOnResubmit(t *testing.T) {
+	s, clk := newTestStore(t, Options{TTL: time.Minute})
+	ja, _ := s.CreateOrGet("a", KindLabels)
+	s.Complete("a", ja.Gen, &Result{NumComponents: 9})
+	clk.Advance(2 * time.Minute)
+	j, existed := s.CreateOrGet("a", KindLabels)
+	if existed {
+		t.Fatal("expired job deduplicated; want replacement")
+	}
+	if j.State != StateQueued || j.Result != nil {
+		t.Fatalf("replacement = %+v", j)
+	}
+}
+
+func TestSweeperEvicts(t *testing.T) {
+	// Real clock here: the sweeper tick and the TTL race wall time.
+	s := NewStore(Options{TTL: 30 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
+	defer s.Close()
+	ja, _ := s.CreateOrGet("a", KindLabels)
+	s.Complete("a", ja.Gen, &Result{})
+	s.CreateOrGet("b", KindLabels) // queued: must survive every sweep
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := s.Get("a"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never evicted the finished job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Fatal("sweeper evicted a queued job")
+	}
+	if got := s.Counts().Evicted; got < 1 {
+		t.Fatalf("evicted = %d, want >= 1", got)
+	}
+}
+
+func TestCountsCensus(t *testing.T) {
+	s, _ := newTestStore(t, Options{Shards: 3})
+	gens := map[string]uint64{}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("q%d", i)
+		j, _ := s.CreateOrGet(id, KindLabels)
+		gens[id] = j.Gen
+	}
+	s.Start("q0", gens["q0"])
+	s.Complete("q1", gens["q1"], &Result{})
+	s.Fail("q2", gens["q2"], errors.New("x"))
+	c := s.Counts()
+	if c.Queued != 1 || c.Running != 1 || c.Done != 1 || c.Failed != 1 {
+		t.Fatalf("census = %+v", c)
+	}
+	if c.Submitted != 4 {
+		t.Fatalf("submitted = %d, want 4", c.Submitted)
+	}
+}
+
+// TestResultByteCap checks overflow eviction: completing results past
+// MaxResultBytes evicts the oldest finished jobs, sparing the newest.
+func TestResultByteCap(t *testing.T) {
+	// Each done entry charges entryOverheadBytes + 100 labels * 4 bytes.
+	const perEntry = entryOverheadBytes + 400
+	s, clk := newTestStore(t, Options{Shards: 2, TTL: time.Hour, MaxResultBytes: 2 * perEntry})
+	mkRes := func() *Result {
+		return &Result{Labels: &binimg.LabelMap{L: make([]binimg.Label, 100)}}
+	}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("j%d", i)
+		j, _ := s.CreateOrGet(id, KindLabels)
+		s.Complete(id, j.Gen, mkRes())
+		clk.Advance(time.Second) // distinct Finished times order the eviction
+	}
+	if got := s.Counts().ResultBytes; got > 2*perEntry+perEntry {
+		t.Fatalf("retained %d bytes, want <= cap + one entry", got)
+	}
+	// The newest job must have survived; the oldest must be gone.
+	if _, ok := s.Get("j3"); !ok {
+		t.Fatal("newest result was evicted by the byte cap")
+	}
+	if _, ok := s.Get("j0"); ok {
+		t.Fatal("oldest result survived past the byte cap")
+	}
+	if got := s.Counts().Evicted; got < 2 {
+		t.Fatalf("evicted = %d, want >= 2", got)
+	}
+	// Removing jobs releases their bytes.
+	before := s.Counts().ResultBytes
+	s.Remove("j3")
+	if got := s.Counts().ResultBytes; got != before-perEntry {
+		t.Fatalf("ResultBytes after Remove = %d, want %d", got, before-perEntry)
+	}
+}
+
+// TestFailedEntryFloodBounded: failed jobs carry no result payload but
+// still charge their entry overhead, so a flood of them cannot grow the
+// store past the byte cap (the metadata-DoS case).
+func TestFailedEntryFloodBounded(t *testing.T) {
+	const capBytes = 4 * entryOverheadBytes
+	s, clk := newTestStore(t, Options{TTL: time.Hour, MaxResultBytes: capBytes})
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("f%d", i)
+		j, _ := s.CreateOrGet(id, KindLabels)
+		s.Fail(id, j.Gen, errors.New("synthetic"))
+		clk.Advance(time.Second)
+	}
+	if got := s.Counts().ResultBytes; got > capBytes+entryOverheadBytes {
+		t.Fatalf("retained %d bytes after failed-job flood, want <= cap + one entry", got)
+	}
+	if n := s.Len(); n >= 50 || n < 1 {
+		t.Fatalf("store holds %d failed entries, want bounded by the cap", n)
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines; run under
+// go test -race this is the shard-locking correctness check.
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(Options{Shards: 4, TTL: 50 * time.Millisecond, SweepEvery: 5 * time.Millisecond})
+	defer s.Close()
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := Key(KindLabels, "paremsp", 8, 0, []byte{byte(i % 16)})
+				j, existed := s.CreateOrGet(id, KindLabels)
+				if !existed {
+					s.SetQueuePos(id, j.Gen, i)
+					s.Start(id, j.Gen)
+					if i%3 == 0 {
+						s.Fail(id, j.Gen, errors.New("synthetic"))
+					} else {
+						s.Complete(id, j.Gen, &Result{NumComponents: i})
+					}
+				}
+				s.Get(id)
+				if (i+w)%7 == 0 {
+					s.Remove(id)
+				}
+				s.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+}

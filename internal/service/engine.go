@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	paremsp "repro"
 	"repro/internal/band"
@@ -69,6 +70,10 @@ type job struct {
 	stream func() (*band.Result, error)
 	opt    paremsp.Options
 	done   chan jobResult
+	// onStart, when non-nil, is called by the worker that dequeues the job
+	// just before it starts computing (the async job API uses it to flip
+	// queued → running).
+	onStart func()
 }
 
 type jobResult struct {
@@ -201,6 +206,93 @@ func (e *Engine) Stats(ctx context.Context, src band.Source, opt band.Options) (
 	return r.bres, r.err
 }
 
+// Submitted is a labeling admitted to the queue by one of the Submit
+// methods: the request sits in the engine queue (or on a worker) and its
+// outcome arrives via Wait. The async job API builds on this path.
+type Submitted struct {
+	pos  int
+	done chan jobResult
+}
+
+// QueuePosition reports approximately how many requests sat in the engine
+// queue — including this one — at the moment the job was admitted. It is a
+// point-in-time observation, not a live position.
+func (s *Submitted) QueuePosition() int { return s.pos }
+
+// Wait blocks until the job finishes. Exactly one of the two results is
+// non-nil on success: the raster result for SubmitLabel/SubmitBitmap, the
+// streaming result for SubmitStats. Wait must be called exactly once.
+func (s *Submitted) Wait() (*paremsp.Result, *band.Result, error) {
+	r := <-s.done
+	return r.res, r.bres, r.err
+}
+
+// SubmitLabel is the asynchronous form of Label: it admits img to the queue
+// and returns immediately with the job's queue position; the caller
+// collects the outcome with Wait. onStart, when non-nil, runs on the worker
+// just before the labeling starts. The img consumption contract matches
+// Label. Backpressure is unchanged: a full queue rejects with ErrQueueFull
+// at submit time.
+func (e *Engine) SubmitLabel(ctx context.Context, img *paremsp.Image, opt paremsp.Options, onStart func()) (*Submitted, error) {
+	j := &job{ctx: ctx, img: img, opt: opt, onStart: onStart, done: make(chan jobResult, 1)}
+	pos, err := e.enqueue(j)
+	if err != nil {
+		return nil, err
+	}
+	return &Submitted{pos: pos, done: j.done}, nil
+}
+
+// SubmitBitmap is SubmitLabel for a bit-packed raster (see LabelBitmap).
+func (e *Engine) SubmitBitmap(ctx context.Context, bm *paremsp.Bitmap, opt paremsp.Options, onStart func()) (*Submitted, error) {
+	j := &job{ctx: ctx, bm: bm, opt: opt, onStart: onStart, done: make(chan jobResult, 1)}
+	pos, err := e.enqueue(j)
+	if err != nil {
+		return nil, err
+	}
+	return &Submitted{pos: pos, done: j.done}, nil
+}
+
+// SubmitStats is the asynchronous form of Stats. Unlike Stats, the source
+// must stay readable until Wait returns — async callers hand it an
+// in-memory buffer, not a request body.
+func (e *Engine) SubmitStats(ctx context.Context, src band.Source, opt band.Options, onStart func()) (*Submitted, error) {
+	j := &job{
+		ctx:     ctx,
+		stream:  func() (*band.Result, error) { return band.Stream(src, opt) },
+		onStart: onStart,
+		done:    make(chan jobResult, 1),
+	}
+	pos, err := e.enqueue(j)
+	if err != nil {
+		return nil, err
+	}
+	return &Submitted{pos: pos, done: j.done}, nil
+}
+
+// RetryAfter estimates how long a client shed with ErrQueueFull should wait
+// before retrying: the expected time for the current backlog (queued plus
+// in-flight requests) to drain through the pool at the observed mean
+// per-job latency, clamped to [1s, 60s]. The mean covers raster labelings
+// only — stream jobs run at the client's upload pace, and a few slow
+// uploads would otherwise inflate every backoff hint to the cap. Before
+// any raster job has completed the estimate is the 1-second floor.
+func (e *Engine) RetryAfter() time.Duration {
+	done := e.metrics.jobsTimed.Load()
+	if done == 0 {
+		return time.Second
+	}
+	mean := time.Duration(e.metrics.jobNs.Load() / done)
+	backlog := int64(len(e.queue)) + e.metrics.inFlight.Load()
+	est := mean * time.Duration(backlog+1) / time.Duration(e.workers)
+	if est < time.Second {
+		return time.Second
+	}
+	if est > time.Minute {
+		return time.Minute
+	}
+	return est
+}
+
 // reclaimInput returns the job's raster (whichever kind it carries, if any)
 // to its pool.
 func (e *Engine) reclaimInput(j *job) {
@@ -212,7 +304,11 @@ func (e *Engine) reclaimInput(j *job) {
 	}
 }
 
-func (e *Engine) submit(j *job) jobResult {
+// enqueue admits j to the queue and returns its approximate queue position
+// (the queue length just after insertion, so including the job itself). It
+// is the shared front half of the synchronous and asynchronous submit
+// paths; on rejection the input raster is reclaimed.
+func (e *Engine) enqueue(j *job) (int, error) {
 	e.metrics.requests.Add(1)
 	if j.opt.Threads == 0 {
 		j.opt.Threads = e.threads
@@ -223,16 +319,24 @@ func (e *Engine) submit(j *job) jobResult {
 		e.mu.RUnlock()
 		e.metrics.rejected.Add(1)
 		e.reclaimInput(j)
-		return jobResult{err: ErrClosed}
+		return 0, ErrClosed
 	}
 	select {
 	case e.queue <- j:
+		pos := len(e.queue)
 		e.mu.RUnlock()
+		return pos, nil
 	default:
 		e.mu.RUnlock()
 		e.metrics.rejected.Add(1)
 		e.reclaimInput(j)
-		return jobResult{err: ErrQueueFull}
+		return 0, ErrQueueFull
+	}
+}
+
+func (e *Engine) submit(j *job) jobResult {
+	if _, err := e.enqueue(j); err != nil {
+		return jobResult{err: err}
 	}
 	ctx := j.ctx
 
@@ -287,7 +391,14 @@ func (e *Engine) worker() {
 			continue
 		}
 		e.metrics.inFlight.Add(1)
+		if j.onStart != nil {
+			j.onStart()
+		}
+		start := time.Now()
 		if j.stream != nil {
+			// Stream durations are dominated by how fast the client's
+			// source delivers bands, not by compute, so they stay out of
+			// the jobNs mean that RetryAfter is derived from.
 			bres, err := j.stream()
 			e.metrics.inFlight.Add(-1)
 			if err != nil {
@@ -325,6 +436,8 @@ func (e *Engine) worker() {
 			continue
 		}
 		e.metrics.completed.Add(1)
+		e.metrics.jobNs.Add(time.Since(start).Nanoseconds())
+		e.metrics.jobsTimed.Add(1)
 		e.metrics.pixels.Add(int64(npix))
 		e.metrics.components.Add(int64(res.NumComponents))
 		e.metrics.scanNs.Add(res.Phases.Scan.Nanoseconds())

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"mime"
 	"net/http"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	paremsp "repro"
 	"repro/internal/band"
+	"repro/internal/jobs"
 	"repro/internal/pnm"
 	"repro/internal/stream"
 )
@@ -41,6 +43,10 @@ type HandlerConfig struct {
 	// algorithm (bremsp/pbremsp) makes raw-PBM uploads take the packed
 	// ingest path by default.
 	DefaultAlgorithm paremsp.Algorithm
+	// Jobs, when non-nil, enables the asynchronous job API (POST /v1/jobs
+	// and the /v1/jobs/{id} endpoints) backed by this store. The handler
+	// does not own the store; the caller closes it.
+	Jobs *jobs.Store
 }
 
 type handler struct {
@@ -48,12 +54,15 @@ type handler struct {
 	maxBytes   int64
 	level      float64
 	defaultAlg paremsp.Algorithm
+	jobs       *jobs.Store
 }
 
 // NewHandler wraps an Engine in the service's HTTP surface: POST /v1/label,
-// POST /v1/stats, GET /healthz, GET /metrics.
+// POST /v1/stats, GET /healthz, GET /metrics, and — when cfg.Jobs is set —
+// the asynchronous job API POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/result, DELETE /v1/jobs/{id}.
 func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
-	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm}
+	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm, jobs: cfg.Jobs}
 	if h.maxBytes <= 0 {
 		h.maxBytes = 64 << 20
 	}
@@ -65,6 +74,12 @@ func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /v1/stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
+	if h.jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", h.jobsSubmit)
+		mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
+		mux.HandleFunc("GET /v1/jobs/{id}/result", h.jobResult)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", h.jobDelete)
+	}
 	return mux
 }
 
@@ -76,6 +91,18 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	h.engine.Snapshot().WriteTo(w)
+	if h.jobs != nil {
+		writeJobsMetrics(w, h.jobs.Counts())
+	}
+}
+
+// rejectBusy writes the 429 for a full queue, with a Retry-After derived
+// from the engine's observed mean job latency and current backlog instead
+// of a fixed guess.
+func (h *handler) rejectBusy(w http.ResponseWriter, err error) {
+	secs := int(math.Ceil(h.engine.RetryAfter().Seconds()))
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, err.Error(), http.StatusTooManyRequests)
 }
 
 // labelResponse is the JSON body of a successful /v1/label request.
@@ -122,47 +149,22 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The engine consumes the raster (it may return it to the pool after a
-	// cancellation while a worker still reads it), so both decode paths
-	// capture the per-image response facts before calling it.
-	var (
-		width, height int
-		density       float64
-		res           *paremsp.Result
-	)
-	if kind == "pnm" && bitPackedAlg(opt.Algorithm) && sniffP4(body) {
-		// Packed ingest: raw PBM is already 1 bit per pixel, and the
-		// bit-packed algorithms consume that layout natively — the byte
-		// raster is never materialized.
-		bm := h.engine.GetBitmap()
-		if err := pnm.DecodePBMBitmapInto(body, bm); err != nil {
-			h.engine.PutBitmap(bm)
-			h.decodeError(w, err)
-			return
-		}
-		width, height, density = bm.Width, bm.Height, bm.Density()
-		res, err = h.engine.LabelBitmap(r.Context(), bm, opt)
+	d, err := h.decodeRaster(kind, body, opt.Algorithm, level)
+	if err != nil {
+		h.decodeError(w, err)
+		return
+	}
+	width, height, density := d.width, d.height, d.density
+	var res *paremsp.Result
+	if d.bm != nil {
+		res, err = h.engine.LabelBitmap(r.Context(), d.bm, opt)
 	} else {
-		img := h.engine.GetImage()
-		switch kind {
-		case "pnm":
-			err = pnm.DecodeInto(body, level, img)
-		case "png":
-			err = pnm.DecodePNGInto(body, level, img)
-		}
-		if err != nil {
-			h.engine.PutImage(img)
-			h.decodeError(w, err)
-			return
-		}
-		width, height, density = img.Width, img.Height, img.Density()
-		res, err = h.engine.Label(r.Context(), img, opt)
+		res, err = h.engine.Label(r.Context(), d.img, opt)
 	}
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			h.rejectBusy(w, err)
 		case errors.Is(err, ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -177,24 +179,36 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.engine.PutResult(res)
 
+	var comps []paremsp.Component
+	if wantStats && accept == ctJSON {
+		comps = paremsp.ComponentsOf(res.Labels)
+	}
+	writeLabeling(w, accept, width, height, density, res.Labels, res.NumComponents, res.Phases, comps)
+}
+
+// writeLabeling renders a finished labeling in the negotiated format; a
+// nil comps omits the per-component list from JSON. It is shared by the
+// synchronous /v1/label response (which computes comps on demand) and the
+// async job result endpoint (which serves them precomputed).
+func writeLabeling(w http.ResponseWriter, accept string, width, height int, density float64,
+	lm *paremsp.LabelMap, numComponents int, phases paremsp.PhaseTimes, comps []paremsp.Component) {
 	switch accept {
 	case ctJSON:
 		resp := labelResponse{
 			Width:         width,
 			Height:        height,
-			NumComponents: res.NumComponents,
+			NumComponents: numComponents,
 			Density:       density,
 		}
-		if res.Phases.Total() > 0 {
+		if phases.Total() > 0 {
 			resp.Phases = &phasesJSON{
-				ScanNs:    res.Phases.Scan.Nanoseconds(),
-				MergeNs:   res.Phases.Merge.Nanoseconds(),
-				FlattenNs: res.Phases.Flatten.Nanoseconds(),
-				RelabelNs: res.Phases.Relabel.Nanoseconds(),
+				ScanNs:    phases.Scan.Nanoseconds(),
+				MergeNs:   phases.Merge.Nanoseconds(),
+				FlattenNs: phases.Flatten.Nanoseconds(),
+				RelabelNs: phases.Relabel.Nanoseconds(),
 			}
 		}
-		if wantStats {
-			comps := paremsp.ComponentsOf(res.Labels)
+		if comps != nil {
 			resp.Components = make([]componentJSON, len(comps))
 			for i, c := range comps {
 				resp.Components[i] = componentJSON{
@@ -209,13 +223,13 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(resp)
 	case ctPGM:
 		w.Header().Set("Content-Type", ctPGM)
-		paremsp.EncodeLabelsPGM(w, res.Labels)
+		paremsp.EncodeLabelsPGM(w, lm)
 	case ctPNG:
 		w.Header().Set("Content-Type", ctPNG)
-		paremsp.EncodeLabelsPNG(w, res.Labels)
+		paremsp.EncodeLabelsPNG(w, lm)
 	case ctCCL:
 		w.Header().Set("Content-Type", ctCCL)
-		stream.WriteLabels(w, res.Labels, res.NumComponents)
+		stream.WriteLabels(w, lm, numComponents)
 	}
 }
 
@@ -261,9 +275,9 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		level = lv
 	}
 	if v := q.Get("band"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			http.Error(w, fmt.Sprintf("invalid band %q (want rows >= 0)", v), http.StatusBadRequest)
+		n, err := parseBandRows(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		bandRows = n
@@ -279,8 +293,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			h.rejectBusy(w, err)
 		case errors.Is(err, ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -294,6 +307,13 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	w.Header().Set("Content-Type", ctJSON)
+	json.NewEncoder(w).Encode(statsResponseFrom(res, bandRows))
+}
+
+// statsResponseFrom builds the JSON body for a streaming-stats result; it
+// is shared by /v1/stats and the async job result endpoint.
+func statsResponseFrom(res *band.Result, bandRows int) statsResponse {
 	resp := statsResponse{
 		Width:         res.Width,
 		Height:        res.Height,
@@ -316,8 +336,48 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 			Runs:     c.Runs,
 		}
 	}
-	w.Header().Set("Content-Type", ctJSON)
-	json.NewEncoder(w).Encode(resp)
+	return resp
+}
+
+// decoded is one request image decoded into a pooled raster: exactly one
+// of img and bm is non-nil. The engine consumes the raster (it may return
+// it to the pool after a cancellation while a worker still reads it), so
+// the dimensions and density are captured here, before any engine call.
+type decoded struct {
+	img           *paremsp.Image
+	bm            *paremsp.Bitmap
+	width, height int
+	density       float64
+}
+
+// decodeRaster decodes an image body of the given kind ("pnm" or "png")
+// into a pooled raster. Raw PBM paired with a bit-packed algorithm takes
+// the packed ingest path — P4 rows are already 1 bit per pixel, so the
+// byte raster is never materialized; everything else decodes into a byte
+// Image. On error the borrowed raster is already back in its pool. Shared
+// by the synchronous label path and the async job submit path.
+func (h *handler) decodeRaster(kind string, body *bufio.Reader, alg paremsp.Algorithm, level float64) (decoded, error) {
+	if kind == "pnm" && bitPackedAlg(alg) && sniffP4(body) {
+		bm := h.engine.GetBitmap()
+		if err := pnm.DecodePBMBitmapInto(body, bm); err != nil {
+			h.engine.PutBitmap(bm)
+			return decoded{}, err
+		}
+		return decoded{bm: bm, width: bm.Width, height: bm.Height, density: bm.Density()}, nil
+	}
+	img := h.engine.GetImage()
+	var err error
+	switch kind {
+	case "pnm":
+		err = pnm.DecodeInto(body, level, img)
+	case "png":
+		err = pnm.DecodePNGInto(body, level, img)
+	}
+	if err != nil {
+		h.engine.PutImage(img)
+		return decoded{}, err
+	}
+	return decoded{img: img, width: img.Width, height: img.Height, density: img.Density()}, nil
 }
 
 // decodeError writes the HTTP failure for a request-body decode error:

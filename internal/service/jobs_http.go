@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"slices"
+	"strconv"
+	"time"
+
+	paremsp "repro"
+	"repro/internal/band"
+	"repro/internal/jobs"
+	"repro/internal/pnm"
+)
+
+// The asynchronous job API. POST /v1/jobs accepts a single image body (the
+// same formats /v1/label takes) or a multipart/form-data batch of images,
+// creates one job per image and answers 202 immediately; clients then poll
+// GET /v1/jobs/{id}, fetch GET /v1/jobs/{id}/result once the job is done,
+// and DELETE /v1/jobs/{id} when they no longer need the result (otherwise
+// the store's TTL evicts it).
+//
+// Jobs are deduplicated by content hash: an identical submission — same
+// input bytes, algorithm, connectivity, binarization level and output kind
+// — returns the existing job's ID with "dedup": true instead of
+// recomputing, whether that job is still queued, running, or already done.
+// Failed jobs do not dedup, so a client may retry a failed submission.
+
+// jobJSON is the wire form of a job in submit responses and status bodies.
+type jobJSON struct {
+	ID            string      `json:"id,omitempty"`
+	Kind          string      `json:"kind,omitempty"`
+	State         string      `json:"state"`
+	Dedup         bool        `json:"dedup,omitempty"`
+	QueuePosition int         `json:"queue_position,omitempty"`
+	Error         string      `json:"error,omitempty"`
+	CreatedAt     *time.Time  `json:"created_at,omitempty"`
+	StartedAt     *time.Time  `json:"started_at,omitempty"`
+	FinishedAt    *time.Time  `json:"finished_at,omitempty"`
+	ExpiresAt     *time.Time  `json:"expires_at,omitempty"`
+	Width         int         `json:"width,omitempty"`
+	Height        int         `json:"height,omitempty"`
+	NumComponents int         `json:"num_components,omitempty"`
+	Phases        *phasesJSON `json:"phases,omitempty"`
+}
+
+type jobsSubmitResponse struct {
+	Jobs []jobJSON `json:"jobs"`
+}
+
+// maxBatchParts bounds one multipart submission. Together with the shared
+// -max-bytes body cap it bounds how many store entries a single request
+// can create (a boundary line costs only tens of bytes, so the byte cap
+// alone would admit millions of empty parts).
+const maxBatchParts = 256
+
+func jobJSONFrom(j jobs.Job, dedup bool) jobJSON {
+	out := jobJSON{
+		ID:            j.ID,
+		Kind:          string(j.Kind),
+		State:         string(j.State),
+		Dedup:         dedup,
+		QueuePosition: j.QueuePos,
+		Error:         j.Err,
+	}
+	if !j.Created.IsZero() {
+		out.CreatedAt = &j.Created
+	}
+	if !j.Started.IsZero() {
+		out.StartedAt = &j.Started
+	}
+	if !j.Finished.IsZero() {
+		out.FinishedAt = &j.Finished
+	}
+	if !j.ExpiresAt.IsZero() {
+		out.ExpiresAt = &j.ExpiresAt
+	}
+	if r := j.Result; r != nil {
+		out.Width, out.Height, out.NumComponents = r.Width, r.Height, r.NumComponents
+		if r.Phases.Total() > 0 {
+			out.Phases = &phasesJSON{
+				ScanNs:    r.Phases.Scan.Nanoseconds(),
+				MergeNs:   r.Phases.Merge.Nanoseconds(),
+				FlattenNs: r.Phases.Flatten.Nanoseconds(),
+				RelabelNs: r.Phases.Relabel.Nanoseconds(),
+			}
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// batchSizeError writes the failure for a multipart read error, wording
+// the over-cap case for the whole batch (decodeError's message is
+// per-image).
+func (h *handler) batchSizeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		http.Error(w, fmt.Sprintf("batch exceeds %d bytes in total (all parts share one -max-bytes cap; split the batch)",
+			tooBig.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// parseBandRows parses a ?band= value (band height in rows, 0 = default).
+func parseBandRows(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid band %q (want rows >= 0)", v)
+	}
+	return n, nil
+}
+
+// jobsSubmit handles POST /v1/jobs. Query parameters: kind (labels —
+// default — or stats), plus /v1/label's alg, threads, conn and level for
+// labels jobs and band for stats jobs. A body of Content-Type
+// multipart/form-data is a batch: every part is one image and gets its own
+// job; anything else is a single image. Images that fail to decode still
+// become jobs — ones that fail immediately, observable via their status —
+// so one bad image never voids the rest of a batch.
+func (h *handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
+	opt, level, _, err := parseOptions(r, h.level, h.defaultAlg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if opt.Algorithm != "" && !slices.Contains(paremsp.Algorithms(), opt.Algorithm) {
+		http.Error(w, fmt.Sprintf("unknown algorithm %q", opt.Algorithm), http.StatusBadRequest)
+		return
+	}
+	kind := jobs.KindLabels
+	if v := r.URL.Query().Get("kind"); v != "" {
+		switch jobs.Kind(v) {
+		case jobs.KindLabels, jobs.KindStats:
+			kind = jobs.Kind(v)
+		default:
+			http.Error(w, fmt.Sprintf("invalid kind %q (want %s or %s)", v, jobs.KindLabels, jobs.KindStats), http.StatusBadRequest)
+			return
+		}
+	}
+	bandRows := 0
+	if v := r.URL.Query().Get("band"); v != "" {
+		n, err := parseBandRows(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		bandRows = n
+	}
+
+	mediatype := ""
+	params := map[string]string{}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, p, err := mime.ParseMediaType(ct); err == nil {
+			mediatype, params = mt, p
+		}
+	}
+
+	// One MaxBytesReader caps the whole submission — for a batch, all
+	// parts together — because every payload is buffered in memory before
+	// its job is created; a per-part cap would let one request pin
+	// parts x -max-bytes. Batches larger than the cap must be split.
+	type payload struct {
+		ct   string
+		data []byte
+	}
+	var payloads []payload
+	body := http.MaxBytesReader(w, r.Body, h.maxBytes)
+	if mediatype == "multipart/form-data" {
+		mr := multipart.NewReader(body, params["boundary"])
+		for {
+			p, err := mr.NextPart()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				h.batchSizeError(w, err)
+				return
+			}
+			if len(payloads) == maxBatchParts {
+				p.Close()
+				http.Error(w, fmt.Sprintf("batch has more than %d parts; split it", maxBatchParts),
+					http.StatusBadRequest)
+				return
+			}
+			b, err := io.ReadAll(p)
+			p.Close()
+			if err != nil {
+				h.batchSizeError(w, err)
+				return
+			}
+			payloads = append(payloads, payload{ct: p.Header.Get("Content-Type"), data: b})
+		}
+		if len(payloads) == 0 {
+			http.Error(w, "empty batch: no multipart parts", http.StatusBadRequest)
+			return
+		}
+	} else {
+		b, err := io.ReadAll(body)
+		if err != nil {
+			h.decodeError(w, err)
+			return
+		}
+		if len(b) == 0 {
+			http.Error(w, "empty request body", http.StatusBadRequest)
+			return
+		}
+		payloads = []payload{{ct: r.Header.Get("Content-Type"), data: b}}
+	}
+
+	resp := jobsSubmitResponse{Jobs: make([]jobJSON, len(payloads))}
+	full, closed := 0, 0
+	for i, b := range payloads {
+		entry, shedErr := h.submitJob(b.data, b.ct, kind, opt, level, bandRows)
+		resp.Jobs[i] = entry
+		switch {
+		case errors.Is(shedErr, ErrQueueFull):
+			full++
+		case errors.Is(shedErr, ErrClosed):
+			closed++
+		}
+	}
+	if full+closed == len(resp.Jobs) {
+		// Every image was shed: answer like the synchronous endpoints —
+		// 503 on shutdown, 429 with a backoff hint on backpressure.
+		if closed > 0 {
+			http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
+		} else {
+			h.rejectBusy(w, ErrQueueFull)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// submitJob creates (or dedups to) the job for one image payload — ct is
+// its declared Content-Type ("" sniffs, matching /v1/label's rules) — and
+// hands new work to the engine. shedErr is non-nil (ErrQueueFull or
+// ErrClosed) when the engine rejected the image; the job is then marked
+// failed — not removed, since a concurrent identical submission may
+// already have dedup'd to its ID — and failed jobs are replaced on
+// resubmission.
+func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.Options, level float64, bandRows int) (entry jobJSON, shedErr error) {
+	// paremsp.JobKey owns the key normalization (default algorithm and
+	// connectivity, the band labeler for stats jobs, level zeroed for raw
+	// PBM), so client-side precomputed IDs match the server's.
+	id := paremsp.JobKey(kind, opt.Algorithm, opt.Connectivity, level, body)
+
+	j, existed := h.jobs.CreateOrGet(id, kind)
+	if existed {
+		return jobJSONFrom(j, true), nil
+	}
+
+	// New job: decode the payload and admit it to the engine queue. The
+	// job's lifetime exceeds the HTTP request's, so it runs under the
+	// background context, and its completion callback runs on a goroutine
+	// that outlives this handler. Every transition targets this entry's
+	// generation, so if the job is deleted and recreated under the same ID
+	// these callbacks cannot touch the replacement.
+	gen := j.Gen
+	onStart := func() { h.jobs.Start(id, gen) }
+	var (
+		sub           *Submitted
+		err           error
+		width, height int
+		density       float64
+	)
+	if kind == jobs.KindStats {
+		src, derr := pnm.NewBandReaderBytes(body, level)
+		if derr != nil {
+			h.jobs.Fail(id, gen, derr)
+			j, _ := h.jobs.Get(id)
+			return jobJSONFrom(j, false), nil
+		}
+		width, height = src.Width(), src.Height()
+		sub, err = h.engine.SubmitStats(context.Background(), src, band.Options{BandRows: bandRows}, onStart)
+	} else {
+		br := bufio.NewReader(bytes.NewReader(body))
+		bkind, derr := bodyKind(ct, br)
+		if derr == nil {
+			var d decoded
+			if d, derr = h.decodeRaster(bkind, br, opt.Algorithm, level); derr == nil {
+				width, height, density = d.width, d.height, d.density
+				if d.bm != nil {
+					sub, err = h.engine.SubmitBitmap(context.Background(), d.bm, opt, onStart)
+				} else {
+					sub, err = h.engine.SubmitLabel(context.Background(), d.img, opt, onStart)
+				}
+			}
+		}
+		if derr != nil {
+			h.jobs.Fail(id, gen, derr)
+			j, _ := h.jobs.Get(id)
+			return jobJSONFrom(j, false), nil
+		}
+	}
+	if err != nil {
+		// Queue backpressure (or shutdown): fail the placeholder rather
+		// than removing it — a concurrent identical submission may already
+		// hold this ID, and a failed job is observable (then replaced on
+		// retry) where a vanished one would 404.
+		h.jobs.Fail(id, gen, err)
+		j, _ := h.jobs.Get(id)
+		return jobJSONFrom(j, false), err
+	}
+	h.jobs.SetQueuePos(id, gen, sub.QueuePosition())
+
+	go func() {
+		res, bres, werr := sub.Wait()
+		if werr != nil {
+			h.jobs.Fail(id, gen, werr)
+			return
+		}
+		jr := &jobs.Result{Width: width, Height: height, Density: density}
+		if bres != nil {
+			jr.Stats = bres
+			jr.BandRows = bandRows
+			jr.Width, jr.Height, jr.NumComponents = bres.Width, bres.Height, bres.NumComponents
+			if px := int64(bres.Width) * int64(bres.Height); px > 0 {
+				jr.Density = float64(bres.ForegroundPixels) / float64(px)
+			}
+		} else {
+			// The label map is kept out of the engine pool for as long as
+			// the job lives; eviction or deletion releases it to the GC.
+			// Component statistics are computed once here, so result
+			// fetches serve them without rescanning the raster.
+			jr.Labels = res.Labels
+			jr.Components = paremsp.ComponentsOf(res.Labels)
+			jr.NumComponents = res.NumComponents
+			jr.Phases = res.Phases
+		}
+		h.jobs.Complete(id, gen, jr)
+	}()
+
+	j, _ = h.jobs.Get(id)
+	return jobJSONFrom(j, false), nil
+}
+
+// jobStatus handles GET /v1/jobs/{id}: the job's state, timestamps, queue
+// position at admission, and — once done — its dimensions and per-phase
+// timings.
+func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSONFrom(j, false))
+}
+
+// jobResult handles GET /v1/jobs/{id}/result. Done labels jobs render in
+// the negotiated format (JSON statistics, PGM/PNG label map, or a CCL1
+// stream; ?stats=false omits per-component statistics from JSON); done
+// stats jobs are JSON only. Any other state answers 409 with the status
+// body, so pollers can distinguish "not yet" from "never existed" (404).
+func (h *handler) jobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	if j.State != jobs.StateDone {
+		writeJSON(w, http.StatusConflict, jobJSONFrom(j, false))
+		return
+	}
+	res := j.Result
+	if res.Stats != nil {
+		if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
+			http.Error(w, fmt.Sprintf("unsupported Accept %q (stats results are %s)",
+				r.Header.Get("Accept"), ctJSON), http.StatusNotAcceptable)
+			return
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		json.NewEncoder(w).Encode(statsResponseFrom(res.Stats, res.BandRows))
+		return
+	}
+	accept, ok := negotiateAccept(r.Header.Get("Accept"))
+	if !ok {
+		http.Error(w, fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
+			r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL), http.StatusNotAcceptable)
+		return
+	}
+	wantStats := true
+	if v := r.URL.Query().Get("stats"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid stats %q", v), http.StatusBadRequest)
+			return
+		}
+		wantStats = b
+	}
+	var comps []paremsp.Component
+	if wantStats {
+		comps = res.Components
+	}
+	writeLabeling(w, accept, res.Width, res.Height, res.Density, res.Labels, res.NumComponents, res.Phases, comps)
+}
+
+// jobDelete handles DELETE /v1/jobs/{id}: the job and its retained result
+// are dropped immediately instead of waiting for TTL eviction. Deleting a
+// queued or running job does not stop the computation, only discards its
+// outcome.
+func (h *handler) jobDelete(w http.ResponseWriter, r *http.Request) {
+	if !h.jobs.Remove(r.PathValue("id")) {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/jobs"
 )
 
 // metrics is the engine's live counter set. Everything is atomic so the hot
@@ -21,6 +23,8 @@ type metrics struct {
 	mergeNs    atomic.Int64 // cumulative PhaseTimes.Merge
 	flattenNs  atomic.Int64 // cumulative PhaseTimes.Flatten
 	relabelNs  atomic.Int64 // cumulative PhaseTimes.Relabel
+	jobNs      atomic.Int64 // cumulative wall time of completed raster jobs (RetryAfter's mean)
+	jobsTimed  atomic.Int64 // completions accounted in jobNs (stream jobs excluded)
 }
 
 // Snapshot is a point-in-time copy of the engine's counters.
@@ -39,6 +43,7 @@ type Snapshot struct {
 	MergeNs    int64 `json:"merge_ns"`
 	FlattenNs  int64 `json:"flatten_ns"`
 	RelabelNs  int64 `json:"relabel_ns"`
+	JobNs      int64 `json:"job_ns"`
 }
 
 // Snapshot copies the current counters. QueueDepth is the number of requests
@@ -59,21 +64,33 @@ func (e *Engine) Snapshot() Snapshot {
 		MergeNs:    e.metrics.mergeNs.Load(),
 		FlattenNs:  e.metrics.flattenNs.Load(),
 		RelabelNs:  e.metrics.relabelNs.Load(),
+		JobNs:      e.metrics.jobNs.Load(),
 	}
+}
+
+// promMetric is one line pair of the ccserve_* text exposition.
+type promMetric struct {
+	kind, name string
+	v          int64
+}
+
+// writeProm renders metrics in the Prometheus text exposition format under
+// the ccserve_ prefix; shared by the engine snapshot and the job census.
+func writeProm(w io.Writer, ms []promMetric) (int64, error) {
+	var total int64
+	for _, m := range ms {
+		n, err := fmt.Fprintf(w, "# TYPE ccserve_%s %s\nccserve_%s %d\n", m.name, m.kind, m.name, m.v)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // WriteTo renders the snapshot in the Prometheus text exposition format.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
-	var total int64
-	emit := func(kind, name string, v int64) error {
-		n, err := fmt.Fprintf(w, "# TYPE ccserve_%s %s\nccserve_%s %d\n", name, kind, name, v)
-		total += int64(n)
-		return err
-	}
-	for _, m := range []struct {
-		kind, name string
-		v          int64
-	}{
+	return writeProm(w, []promMetric{
 		{"counter", "requests_total", s.Requests},
 		{"counter", "completed_total", s.Completed},
 		{"counter", "rejected_total", s.Rejected},
@@ -88,10 +105,22 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"counter", "phase_merge_ns_total", s.MergeNs},
 		{"counter", "phase_flatten_ns_total", s.FlattenNs},
 		{"counter", "phase_relabel_ns_total", s.RelabelNs},
-	} {
-		if err := emit(m.kind, m.name, m.v); err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+		{"counter", "job_latency_ns_total", s.JobNs},
+	})
+}
+
+// writeJobsMetrics renders the job store's census — per-state gauges plus
+// the cumulative submission, dedup-hit and eviction counters — after the
+// engine snapshot.
+func writeJobsMetrics(w io.Writer, c jobs.Counts) (int64, error) {
+	return writeProm(w, []promMetric{
+		{"gauge", "jobs_queued", c.Queued},
+		{"gauge", "jobs_running", c.Running},
+		{"gauge", "jobs_done", c.Done},
+		{"gauge", "jobs_failed", c.Failed},
+		{"gauge", "jobs_result_bytes", c.ResultBytes},
+		{"counter", "jobs_submitted_total", c.Submitted},
+		{"counter", "jobs_dedup_hits_total", c.DedupHits},
+		{"counter", "jobs_evicted_total", c.Evicted},
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image"
 	"image/png"
@@ -408,8 +409,11 @@ func TestEngineClosedRejects(t *testing.T) {
 	eng.Close()
 	eng.Close() // idempotent
 	_, err := eng.Label(context.Background(), testImage(t), paremsp.Options{})
-	if err != ErrClosed {
+	if !errors.Is(err, ErrClosed) {
 		t.Fatalf("Label after Close: %v, want ErrClosed", err)
+	}
+	if _, err := eng.SubmitLabel(context.Background(), testImage(t), paremsp.Options{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitLabel after Close: %v, want ErrClosed", err)
 	}
 }
 

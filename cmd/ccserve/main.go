@@ -5,6 +5,7 @@
 //	ccserve [-addr :8377] [-workers 0] [-queue 0] [-threads 0]
 //	        [-max-bytes 67108864] [-level 0.5] [-alg paremsp]
 //	        [-jobs] [-job-ttl 15m] [-job-shards 0] [-job-max-bytes 0]
+//	        [-log-level info] [-log-format text] [-debug-addr ""]
 //
 // The server labels images POSTed to /v1/label (PBM/PGM/PNG body; the
 // response format follows the Accept header: JSON component statistics,
@@ -24,8 +25,19 @@
 // (default 512 MiB), evicting oldest results first beyond it.
 //
 // /healthz is a liveness probe and /metrics exposes request counters,
-// cumulative per-phase timings and job-state gauges in Prometheus text
-// format. SIGINT or SIGTERM triggers a graceful shutdown.
+// latency and per-phase histograms, approximate latency percentiles and
+// job-state gauges in Prometheus text format. SIGINT or SIGTERM triggers
+// a graceful shutdown.
+//
+// Observability: every request is tagged with an X-Request-ID (an inbound
+// header is honored and echoed, otherwise one is generated), /v1/label
+// responses carry a Server-Timing header with per-phase durations, and
+// structured logs — access lines, job lifecycle events, startup and
+// shutdown progress — go to stderr at -log-level in -log-format (text or
+// json). -debug-addr starts a second, operator-only listener serving
+// /debug/pprof/ profiles and /debug/requests, a JSON dump of the most
+// recent per-request phase traces (filter with ?id=<request id>, bound
+// with ?n=). Keep -debug-addr on loopback or an internal network.
 package main
 
 import (

@@ -97,6 +97,16 @@
 // service answers 429 with a Retry-After derived from the observed mean job
 // latency and the current backlog.
 //
+// The service is fully instrumented: every request carries an X-Request-ID
+// (inbound honored, otherwise generated, always echoed), /v1/label responses
+// report per-phase durations in a Server-Timing header, /metrics exposes
+// lock-free log₂-bucket latency histograms (per-endpoint request duration,
+// queue wait, worker service time, per-phase splits) alongside the counters,
+// and recent per-request phase traces are retained in a ring buffer dumped
+// by GET /debug/requests on the separate ccserve -debug-addr listener, which
+// also serves net/http/pprof. Structured slog logging (access lines, job
+// lifecycle events) is configured with ccserve -log-level and -log-format.
+//
 // # Asynchronous jobs
 //
 // The synchronous endpoints hold their HTTP connection for the whole

@@ -7,12 +7,14 @@
 package cli
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -280,6 +282,61 @@ func CCStream(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// newServeLogger builds ccserve's structured logger from the -log-level
+// and -log-format flags, writing to stderr (stdout stays human output).
+func newServeLogger(stderr io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// jobEventLogger adapts the job store's lifecycle hook to slog: terminal
+// transitions (done, failed, evicted) log at Info, the chattier
+// submitted/started/dedup ones at Debug.
+func jobEventLogger(logger *slog.Logger) func(jobs.Event) {
+	return func(ev jobs.Event) {
+		level := slog.LevelDebug
+		switch ev.Type {
+		case jobs.EventDone, jobs.EventFailed, jobs.EventEvicted:
+			level = slog.LevelInfo
+		}
+		if !logger.Enabled(context.Background(), level) {
+			return
+		}
+		attrs := make([]slog.Attr, 0, 5)
+		attrs = append(attrs, slog.String("id", ev.ID), slog.String("kind", string(ev.Kind)))
+		if ev.Wait > 0 {
+			attrs = append(attrs, slog.Duration("queue_wait", ev.Wait))
+		}
+		if ev.Run > 0 {
+			attrs = append(attrs, slog.Duration("run", ev.Run))
+		}
+		if ev.Err != "" {
+			attrs = append(attrs, slog.String("error", ev.Err))
+		}
+		logger.LogAttrs(context.Background(), level, "job "+ev.Type, attrs...)
+	}
+}
+
 // CCServe implements the ccserve command: run the HTTP labeling service on a
 // bounded worker pool until SIGINT/SIGTERM, then shut down gracefully
 // (in-flight requests finish, the queue drains, and the listener closes).
@@ -297,6 +354,9 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "retain finished job results this long before eviction")
 	jobShards := fs.Int("job-shards", 0, "job store shard count (0 = 16)")
 	jobMaxBytes := fs.Int64("job-max-bytes", 0, "cap on retained job-result bytes; oldest results evicted beyond it (0 = 512 MiB)")
+	logLevel := fs.String("log-level", "info", "structured-log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "structured-log format on stderr: text or json")
+	debugAddr := fs.String("debug-addr", "", "optional operator listener serving /debug/pprof/ and /debug/requests (keep off the public network; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -329,19 +389,31 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccserve: -job-max-bytes must be >= 0")
 		return 2
 	}
+	logger, err := newServeLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccserve:", err)
+		return 2
+	}
 
 	var store *jobs.Store
 	if *jobsOn {
-		store = jobs.NewStore(jobs.Options{Shards: *jobShards, TTL: *jobTTL, MaxResultBytes: *jobMaxBytes})
+		store = jobs.NewStore(jobs.Options{
+			Shards:         *jobShards,
+			TTL:            *jobTTL,
+			MaxResultBytes: *jobMaxBytes,
+			OnEvent:        jobEventLogger(logger),
+		})
 		defer store.Close()
 	}
 	eng := service.NewEngine(service.Config{Workers: *workers, QueueDepth: *queue, Threads: *threads})
+	obs := service.NewObs(logger, 0)
 	srv := &http.Server{
 		Handler: service.NewHandler(eng, service.HandlerConfig{
 			MaxImageBytes:    *maxBytes,
 			Level:            *level,
 			DefaultAlgorithm: paremsp.Algorithm(*alg),
 			Jobs:             store,
+			Obs:              obs,
 		}),
 		// Streaming endpoints (/v1/stats) read the body on a pool worker, so
 		// a stalled client holds labeling capacity; bound at least the header
@@ -356,6 +428,24 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccserve:", err)
 		return 1
 	}
+
+	// The debug listener is separate from the public one so pprof and the
+	// request-trace dump can bind to loopback while the service faces the
+	// world.
+	var debugLn net.Listener
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			eng.Close()
+			fmt.Fprintln(stderr, "ccserve:", err)
+			return 1
+		}
+		debugSrv = &http.Server{Handler: service.NewDebugHandler(obs), ReadHeaderTimeout: 10 * time.Second}
+		go debugSrv.Serve(debugLn)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -366,6 +456,26 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "ccserve: listening on %s (%d workers, queue %d, jobs %s)\n",
 		ln.Addr(), eng.Workers(), eng.QueueDepth(), jobsState)
+	startAttrs := []slog.Attr{
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", eng.Workers()),
+		slog.Int("queue", eng.QueueDepth()),
+		slog.Int("threads", *threads),
+		slog.Int64("max_bytes", *maxBytes),
+		slog.Float64("level", *level),
+		slog.String("alg", cmp.Or(*alg, string(paremsp.AlgPAREMSP))),
+		slog.Bool("jobs", store != nil),
+	}
+	if store != nil {
+		startAttrs = append(startAttrs,
+			slog.Duration("job_ttl", store.TTL()),
+			slog.Int("job_shards", *jobShards),
+			slog.Int64("job_max_bytes", *jobMaxBytes))
+	}
+	if debugLn != nil {
+		startAttrs = append(startAttrs, slog.String("debug_addr", debugLn.Addr().String()))
+	}
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "ccserve listening", startAttrs...)
 
 	select {
 	case err := <-errCh:
@@ -376,14 +486,20 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	}
 	stop()
 	fmt.Fprintln(stdout, "ccserve: shutting down")
+	logger.Info("shutting down", "reason", "signal", "timeout", 15*time.Second)
 	sdCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	code := 0
 	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "ccserve: shutdown:", err)
+		logger.Error("shutdown", "error", err)
 		code = 1
 	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(sdCtx)
+	}
 	eng.Close()
+	logger.Info("stopped", "requests", eng.Snapshot().Requests)
 	return code
 }
 

@@ -234,6 +234,8 @@ func TestCCServeBadFlags(t *testing.T) {
 		{"-job-ttl", "0s"},
 		{"-job-shards", "-3"},
 		{"-job-max-bytes", "-1"},
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := cli.CCServe(args, &stdout, &stderr); code != 2 {

@@ -76,6 +76,10 @@ type Result struct {
 	// BandRows is the band height a KindStats job streamed with (0 = the
 	// default); execution detail only, deliberately outside the dedup key.
 	BandRows int
+	// DecodeNs is how long the submission spent decoding the input before
+	// the job was admitted; surfaced in the status trace, outside the
+	// dedup key like BandRows.
+	DecodeNs int64
 	// Phases holds per-phase times when the parallel algorithms produced
 	// the labeling; zero otherwise.
 	Phases core.PhaseTimes
@@ -131,6 +135,32 @@ func Key(kind Kind, alg string, conn int, level float64, body []byte) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// Event is one job lifecycle transition, delivered to Options.OnEvent.
+// Wait and Run are filled where the transition implies them (Wait on
+// started and later, Run on done/failed of a job that started).
+type Event struct {
+	// Type is the transition: submitted, dedup, started, done, failed or
+	// evicted.
+	Type string
+	// ID and Kind identify the job.
+	ID   string
+	Kind Kind
+	// Err is the failure reason on failed events.
+	Err string
+	// Wait is the queued → running duration; Run is running → finished.
+	Wait, Run time.Duration
+}
+
+// Event types.
+const (
+	EventSubmitted = "submitted"
+	EventDedup     = "dedup"
+	EventStarted   = "started"
+	EventDone      = "done"
+	EventFailed    = "failed"
+	EventEvicted   = "evicted"
+)
+
 // Options sizes a Store.
 type Options struct {
 	// Shards is the number of mutex-sharded job maps. 0 selects 16.
@@ -150,6 +180,11 @@ type Options struct {
 	// distinct (non-dedupable) submissions that TTL alone would retain
 	// for minutes. 0 selects 512 MiB.
 	MaxResultBytes int64
+	// OnEvent, when non-nil, is called — outside the store's locks, on
+	// whatever goroutine drove the transition — for every job lifecycle
+	// event. The labeling service wires it to the structured logger. The
+	// hook must not block: it runs on request and sweeper goroutines.
+	OnEvent func(Event)
 }
 
 // entryOverheadBytes is the per-entry charge against MaxResultBytes: an
@@ -190,6 +225,7 @@ type Store struct {
 	shards   []shard
 	ttl      time.Duration
 	maxBytes int64
+	onEvent  func(Event)
 
 	// retained is the total result bytes currently held across shards.
 	retained atomic.Int64
@@ -248,6 +284,7 @@ func newStore(opt Options, now func() time.Time) *Store {
 		shards:   make([]shard, n),
 		ttl:      ttl,
 		maxBytes: maxBytes,
+		onEvent:  opt.OnEvent,
 		now:      now,
 		stop:     make(chan struct{}),
 	}
@@ -303,6 +340,20 @@ func (s *Store) shift(from, to State) {
 	}
 }
 
+// emit delivers ev to the OnEvent hook. Every call site fires after the
+// owning shard's lock is released, so a hook that re-enters the store
+// cannot deadlock; nil-hook stores pay one branch.
+func (s *Store) emit(ev Event) {
+	if s.onEvent != nil {
+		s.onEvent(ev)
+	}
+}
+
+// evictedEvent builds the eviction event for a dropped job snapshot.
+func evictedEvent(j *Job) Event {
+	return Event{Type: EventEvicted, ID: j.ID, Kind: j.Kind, Err: j.Err}
+}
+
 // dropLocked removes the already-looked-up entry from sh, which the caller
 // holds locked, unwinding its gauge and retained-byte accounting.
 func (s *Store) dropLocked(sh *shard, id string, e *entry) {
@@ -337,16 +388,22 @@ func resultBytes(r *Result) int64 {
 func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
 	sh := s.shardFor(id)
 	now := s.now()
+	var events [2]Event
+	nev := 0
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if e, ok := sh.jobs[id]; ok {
 		expired := !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt)
 		if e.job.State != StateFailed && !expired {
 			s.dedupHits.Add(1)
-			return e.job, true
+			j := e.job
+			sh.mu.Unlock()
+			s.emit(Event{Type: EventDedup, ID: j.ID, Kind: j.Kind})
+			return j, true
 		}
 		if expired {
 			s.evicted.Add(1)
+			events[nev] = evictedEvent(&e.job)
+			nev++
 		}
 		// Failed or expired: drop it and replace with a fresh job.
 		s.dropLocked(sh, id, e)
@@ -359,7 +416,14 @@ func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
 	s.submitted.Add(1)
 	s.retained.Add(entryOverheadBytes)
 	s.shift("", StateQueued)
-	return e.job, false
+	j := e.job
+	sh.mu.Unlock()
+	events[nev] = Event{Type: EventSubmitted, ID: id, Kind: kind}
+	nev++
+	for i := 0; i < nev; i++ {
+		s.emit(events[i])
+	}
+	return j, false
 }
 
 // SetQueuePos records the engine queue position observed when the job was
@@ -371,13 +435,18 @@ func (s *Store) SetQueuePos(id string, gen uint64, pos int) {
 // Start moves a queued job to running; a no-op if the job (that exact
 // generation) is gone.
 func (s *Store) Start(id string, gen uint64) {
+	var ev Event
 	s.update(id, gen, func(j *Job) {
 		if j.State == StateQueued {
 			s.shift(StateQueued, StateRunning)
 			j.State = StateRunning
 			j.Started = s.now()
+			ev = Event{Type: EventStarted, ID: j.ID, Kind: j.Kind, Wait: j.Started.Sub(j.Created)}
 		}
 	})
+	if ev.Type != "" {
+		s.emit(ev)
+	}
 }
 
 // Complete moves a job to done with its result and arms TTL eviction; a
@@ -388,6 +457,7 @@ func (s *Store) Start(id string, gen uint64) {
 // store's byte cap, the oldest finished jobs are evicted to make room.
 func (s *Store) Complete(id string, gen uint64, r *Result) {
 	sh := s.shardFor(id)
+	var ev Event
 	sh.mu.Lock()
 	if e, ok := sh.jobs[id]; ok && e.job.Gen == gen && !e.job.State.Finished() {
 		s.shift(e.job.State, StateDone)
@@ -397,8 +467,16 @@ func (s *Store) Complete(id string, gen uint64, r *Result) {
 		e.job.ExpiresAt = e.job.Finished.Add(s.ttl)
 		e.size += resultBytes(r)
 		s.retained.Add(resultBytes(r))
+		ev = Event{Type: EventDone, ID: id, Kind: e.job.Kind}
+		if !e.job.Started.IsZero() {
+			ev.Wait = e.job.Started.Sub(e.job.Created)
+			ev.Run = e.job.Finished.Sub(e.job.Started)
+		}
 	}
 	sh.mu.Unlock()
+	if ev.Type != "" {
+		s.emit(ev)
+	}
 	if s.retained.Load() > s.maxBytes {
 		s.evictOverflow()
 	}
@@ -436,9 +514,14 @@ func (s *Store) evictOverflow() {
 			return
 		}
 		c.sh.mu.Lock()
-		if e, ok := c.sh.jobs[c.id]; ok && e.job.State.Finished() {
+		e, ok := c.sh.jobs[c.id]
+		if ok && e.job.State.Finished() {
+			ev := evictedEvent(&e.job)
 			s.dropLocked(c.sh, c.id, e)
 			s.evicted.Add(1)
+			c.sh.mu.Unlock()
+			s.emit(ev)
+			continue
 		}
 		c.sh.mu.Unlock()
 	}
@@ -448,6 +531,7 @@ func (s *Store) evictOverflow() {
 // a no-op if the job was deleted while running or superseded by a newer
 // generation (see Complete).
 func (s *Store) Fail(id string, gen uint64, err error) {
+	var ev Event
 	s.update(id, gen, func(j *Job) {
 		if j.State.Finished() {
 			return
@@ -457,7 +541,15 @@ func (s *Store) Fail(id string, gen uint64, err error) {
 		j.Err = err.Error()
 		j.Finished = s.now()
 		j.ExpiresAt = j.Finished.Add(s.ttl)
+		ev = Event{Type: EventFailed, ID: j.ID, Kind: j.Kind, Err: j.Err}
+		if !j.Started.IsZero() {
+			ev.Wait = j.Started.Sub(j.Created)
+			ev.Run = j.Finished.Sub(j.Started)
+		}
 	})
+	if ev.Type != "" {
+		s.emit(ev)
+	}
 	// Failed entries carry no result but still occupy their overhead
 	// charge; a flood of them must trigger eviction like results do.
 	if s.retained.Load() > s.maxBytes {
@@ -479,17 +571,22 @@ func (s *Store) update(id string, gen uint64, f func(*Job)) {
 func (s *Store) Get(id string) (Job, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	e, ok := sh.jobs[id]
 	if !ok {
+		sh.mu.Unlock()
 		return Job{}, false
 	}
 	if !e.job.ExpiresAt.IsZero() && s.now().After(e.job.ExpiresAt) {
+		ev := evictedEvent(&e.job)
 		s.dropLocked(sh, id, e)
 		s.evicted.Add(1)
+		sh.mu.Unlock()
+		s.emit(ev)
 		return Job{}, false
 	}
-	return e.job, true
+	j := e.job
+	sh.mu.Unlock()
+	return j, true
 }
 
 // Remove deletes the job, reporting whether it existed. Removing a running
@@ -550,15 +647,20 @@ func (s *Store) sweeper(every time.Duration) {
 // sweep evicts every finished job whose TTL has lapsed.
 func (s *Store) sweep() {
 	now := s.now()
+	var events []Event
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for id, e := range sh.jobs {
 			if !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt) {
+				events = append(events, evictedEvent(&e.job))
 				s.dropLocked(sh, id, e)
 				s.evicted.Add(1)
 			}
 		}
 		sh.mu.Unlock()
+	}
+	for _, ev := range events {
+		s.emit(ev)
 	}
 }

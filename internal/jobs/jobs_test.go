@@ -368,3 +368,89 @@ func TestStoreConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestEventHook asserts every lifecycle transition reaches the OnEvent
+// hook, in order, with wait/run durations on the terminal event — and that
+// a hook that re-enters the store does not deadlock (events are emitted
+// outside the shard locks).
+func TestEventHook(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	var s *Store
+	clk := &fakeClock{t: time.Now()}
+	s = newStore(Options{TTL: time.Minute, OnEvent: func(ev Event) {
+		s.Counts() // re-entrancy: must not deadlock
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}}, clk.Now)
+	defer s.Close()
+
+	id := "job-ev"
+	j, existed := s.CreateOrGet(id, KindLabels)
+	if existed {
+		t.Fatal("fresh job reported as existing")
+	}
+	if _, existed = s.CreateOrGet(id, KindLabels); !existed {
+		t.Fatal("dedup miss")
+	}
+	clk.Advance(10 * time.Millisecond)
+	s.Start(id, j.Gen)
+	clk.Advance(30 * time.Millisecond)
+	s.Complete(id, j.Gen, &Result{NumComponents: 1})
+
+	id2 := "job-fail"
+	j2, _ := s.CreateOrGet(id2, KindStats)
+	s.Start(id2, j2.Gen)
+	s.Fail(id2, j2.Gen, errors.New("boom"))
+
+	mu.Lock()
+	defer mu.Unlock()
+	types := make([]string, len(got))
+	for i, ev := range got {
+		types[i] = ev.Type
+	}
+	want := []string{
+		EventSubmitted, EventDedup, EventStarted, EventDone,
+		EventSubmitted, EventStarted, EventFailed,
+	}
+	if fmt.Sprint(types) != fmt.Sprint(want) {
+		t.Fatalf("event sequence = %v, want %v", types, want)
+	}
+	done := got[3]
+	if done.ID != id || done.Kind != KindLabels {
+		t.Fatalf("done event = %+v", done)
+	}
+	if done.Wait != 10*time.Millisecond || done.Run != 30*time.Millisecond {
+		t.Fatalf("done wait/run = %v/%v, want 10ms/30ms", done.Wait, done.Run)
+	}
+	if failed := got[6]; failed.Err != "boom" {
+		t.Fatalf("failed event err = %q", failed.Err)
+	}
+}
+
+// TestEventHookEviction asserts TTL sweeps report evicted jobs.
+func TestEventHookEviction(t *testing.T) {
+	var mu sync.Mutex
+	evicted := map[string]bool{}
+	s, clk := newTestStore(t, Options{TTL: time.Minute, SweepEvery: time.Hour, OnEvent: func(ev Event) {
+		if ev.Type == EventEvicted {
+			mu.Lock()
+			evicted[ev.ID] = true
+			mu.Unlock()
+		}
+	}})
+
+	j, _ := s.CreateOrGet("old", KindLabels)
+	s.Start("old", j.Gen)
+	s.Complete("old", j.Gen, &Result{})
+	clk.Advance(2 * time.Minute)
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("expired job still visible")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !evicted["old"] {
+		t.Fatal("lazy-expiry eviction did not reach the hook")
+	}
+}

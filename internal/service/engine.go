@@ -70,6 +70,9 @@ type job struct {
 	stream func() (*band.Result, error)
 	opt    paremsp.Options
 	done   chan jobResult
+	// enqueued is when the job was admitted to the queue; the worker's
+	// dequeue time minus this is the queue wait.
+	enqueued time.Time
 	// onStart, when non-nil, is called by the worker that dequeues the job
 	// just before it starts computing (the async job API uses it to flip
 	// queued → running).
@@ -80,6 +83,11 @@ type jobResult struct {
 	res  *paremsp.Result
 	bres *band.Result
 	err  error
+	// wait is the time the job sat in the queue before a worker picked it
+	// up. It rides the result channel back so the HTTP layer can fill the
+	// request trace from its own goroutine — the worker never touches a
+	// Trace, which keeps pooled trace records race-free under cancellation.
+	wait time.Duration
 }
 
 // NewEngine starts a worker pool per cfg. Callers must Close it to stop the
@@ -313,6 +321,7 @@ func (e *Engine) enqueue(j *job) (int, error) {
 	if j.opt.Threads == 0 {
 		j.opt.Threads = e.threads
 	}
+	j.enqueued = time.Now()
 
 	e.mu.RLock()
 	if e.closed {
@@ -346,12 +355,23 @@ func (e *Engine) submit(j *job) jobResult {
 	// job with a dead ctx is rejected by the worker's precheck, and a
 	// running one stops at the first failed read.
 	if j.stream != nil {
-		return <-j.done
+		r := <-j.done
+		if tr := traceFrom(ctx); tr != nil {
+			tr.QueueNs = r.wait.Nanoseconds()
+		}
+		return r
 	}
 
 	// Once enqueued, the worker owns the raster and returns it to its pool.
 	select {
 	case r := <-j.done:
+		// The channel receive orders the worker's writes before this
+		// caller-side trace fill; on the cancellation path below the trace
+		// is left untouched, so a worker finishing late never races the
+		// (pooled, recycled) record.
+		if tr := traceFrom(ctx); tr != nil {
+			tr.QueueNs = r.wait.Nanoseconds()
+		}
 		return r
 	case <-ctx.Done():
 		e.metrics.canceled.Add(1)
@@ -395,21 +415,24 @@ func (e *Engine) worker() {
 			j.onStart()
 		}
 		start := time.Now()
+		wait := start.Sub(j.enqueued)
+		e.metrics.queueWaitHist.observe(wait.Nanoseconds())
 		if j.stream != nil {
 			// Stream durations are dominated by how fast the client's
 			// source delivers bands, not by compute, so they stay out of
-			// the jobNs mean that RetryAfter is derived from.
+			// the jobNs mean that RetryAfter is derived from (and out of
+			// the service-time histogram, for the same reason).
 			bres, err := j.stream()
 			e.metrics.inFlight.Add(-1)
 			if err != nil {
 				e.metrics.errors.Add(1)
-				j.done <- jobResult{err: err}
+				j.done <- jobResult{err: err, wait: wait}
 				continue
 			}
 			e.metrics.completed.Add(1)
 			e.metrics.pixels.Add(int64(bres.Width) * int64(bres.Height))
 			e.metrics.components.Add(int64(bres.NumComponents))
-			j.done <- jobResult{bres: bres}
+			j.done <- jobResult{bres: bres, wait: wait}
 			continue
 		}
 		lm := e.lmPool.Get().(*paremsp.LabelMap)
@@ -432,11 +455,12 @@ func (e *Engine) worker() {
 		if err != nil {
 			e.lmPool.Put(lm)
 			e.metrics.errors.Add(1)
-			j.done <- jobResult{err: err}
+			j.done <- jobResult{err: err, wait: wait}
 			continue
 		}
+		elapsed := time.Since(start).Nanoseconds()
 		e.metrics.completed.Add(1)
-		e.metrics.jobNs.Add(time.Since(start).Nanoseconds())
+		e.metrics.jobNs.Add(elapsed)
 		e.metrics.jobsTimed.Add(1)
 		e.metrics.pixels.Add(int64(npix))
 		e.metrics.components.Add(int64(res.NumComponents))
@@ -444,6 +468,15 @@ func (e *Engine) worker() {
 		e.metrics.mergeNs.Add(res.Phases.Merge.Nanoseconds())
 		e.metrics.flattenNs.Add(res.Phases.Flatten.Nanoseconds())
 		e.metrics.relabelNs.Add(res.Phases.Relabel.Nanoseconds())
-		j.done <- jobResult{res: res}
+		// Histogram observes are two uncontended atomic adds each; the
+		// six of them cost tens of nanoseconds against a job measured in
+		// micro- to milliseconds, keeping hot-path overhead under the 2%
+		// budget with nothing allocated.
+		e.metrics.jobHist.observe(elapsed)
+		e.metrics.phaseHist[phaseScan].observe(res.Phases.Scan.Nanoseconds())
+		e.metrics.phaseHist[phaseMerge].observe(res.Phases.Merge.Nanoseconds())
+		e.metrics.phaseHist[phaseFlatten].observe(res.Phases.Flatten.Nanoseconds())
+		e.metrics.phaseHist[phaseRelabel].observe(res.Phases.Relabel.Nanoseconds())
+		j.done <- jobResult{res: res, wait: wait}
 	}
 }

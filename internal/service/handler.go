@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	paremsp "repro"
 	"repro/internal/band"
@@ -47,6 +48,11 @@ type HandlerConfig struct {
 	// and the /v1/jobs/{id} endpoints) backed by this store. The handler
 	// does not own the store; the caller closes it.
 	Jobs *jobs.Store
+	// Obs carries the request-observability state: the structured logger,
+	// the per-endpoint latency histograms, and the trace ring that
+	// NewDebugHandler dumps. nil creates a private, non-logging Obs (the
+	// histograms and /metrics exposition still work).
+	Obs *Obs
 }
 
 type handler struct {
@@ -55,19 +61,27 @@ type handler struct {
 	level      float64
 	defaultAlg paremsp.Algorithm
 	jobs       *jobs.Store
+	obs        *Obs
 }
 
 // NewHandler wraps an Engine in the service's HTTP surface: POST /v1/label,
 // POST /v1/stats, GET /healthz, GET /metrics, and — when cfg.Jobs is set —
 // the asynchronous job API POST /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/result, DELETE /v1/jobs/{id}.
+// GET /v1/jobs/{id}/result, DELETE /v1/jobs/{id}. Every route runs inside
+// the observability middleware: responses carry X-Request-ID (inbound IDs
+// are honored, otherwise one is minted), access lines go to the Obs
+// logger, per-endpoint latency feeds the /metrics histograms, and each
+// request leaves a phase trace in the Obs ring buffer.
 func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
-	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm, jobs: cfg.Jobs}
+	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm, jobs: cfg.Jobs, obs: cfg.Obs}
 	if h.maxBytes <= 0 {
 		h.maxBytes = 64 << 20
 	}
 	if h.level == 0 {
 		h.level = 0.5
+	}
+	if h.obs == nil {
+		h.obs = NewObs(nil, 0)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/label", h.label)
@@ -80,7 +94,7 @@ func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
 		mux.HandleFunc("GET /v1/jobs/{id}/result", h.jobResult)
 		mux.HandleFunc("DELETE /v1/jobs/{id}", h.jobDelete)
 	}
-	return mux
+	return h.obs.middleware(mux)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
@@ -91,6 +105,8 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	h.engine.Snapshot().WriteTo(w)
+	h.engine.writeHistograms(w)
+	h.obs.writeRequestHists(w)
 	if h.jobs != nil {
 		writeJobsMetrics(w, h.jobs.Counts())
 	}
@@ -141,6 +157,13 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr := traceFrom(r.Context())
+	if tr != nil {
+		tr.Alg = string(opt.Algorithm)
+		if tr.Alg == "" {
+			tr.Alg = string(paremsp.AlgPAREMSP)
+		}
+	}
 
 	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, h.maxBytes))
 	kind, err := bodyKind(r.Header.Get("Content-Type"), body)
@@ -149,12 +172,17 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	decodeStart := time.Now()
 	d, err := h.decodeRaster(kind, body, opt.Algorithm, level)
 	if err != nil {
 		h.decodeError(w, err)
 		return
 	}
 	width, height, density := d.width, d.height, d.density
+	if tr != nil {
+		tr.DecodeNs = time.Since(decodeStart).Nanoseconds()
+		tr.Pixels = int64(width) * int64(height)
+	}
 	var res *paremsp.Result
 	if d.bm != nil {
 		res, err = h.engine.LabelBitmap(r.Context(), d.bm, opt)
@@ -183,7 +211,17 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 	if wantStats && accept == ctJSON {
 		comps = paremsp.ComponentsOf(res.Labels)
 	}
+	encodeStart := time.Now()
+	if tr != nil {
+		tr.setPhases(res.Phases.Scan, res.Phases.Merge, res.Phases.Flatten, res.Phases.Relabel)
+		// Server-Timing must precede the body; encode time therefore lives
+		// only in the /debug/requests trace record.
+		w.Header().Set("Server-Timing", string(appendServerTiming(nil, tr, encodeStart.Sub(tr.Start))))
+	}
 	writeLabeling(w, accept, width, height, density, res.Labels, res.NumComponents, res.Phases, comps)
+	if tr != nil {
+		tr.EncodeNs = time.Since(encodeStart).Nanoseconds()
+	}
 }
 
 // writeLabeling renders a finished labeling in the negotiated format; a
@@ -283,10 +321,20 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		bandRows = n
 	}
 
+	decodeStart := time.Now()
 	src, err := pnm.NewBandReader(http.MaxBytesReader(w, r.Body, h.maxBytes), level)
 	if err != nil {
 		h.decodeError(w, err)
 		return
+	}
+	tr := traceFrom(r.Context())
+	if tr != nil {
+		// Only the header parse happens up front — band decoding is
+		// interleaved with labeling on the worker — so DecodeNs here is
+		// the header cost and the streamed pass lands in queue+total.
+		tr.DecodeNs = time.Since(decodeStart).Nanoseconds()
+		tr.Alg = "band"
+		tr.Pixels = int64(src.Width()) * int64(src.Height())
 	}
 	res, err := h.engine.Stats(r.Context(), src, band.Options{BandRows: bandRows})
 	if err != nil {

@@ -36,20 +36,33 @@ import (
 
 // jobJSON is the wire form of a job in submit responses and status bodies.
 type jobJSON struct {
-	ID            string      `json:"id,omitempty"`
-	Kind          string      `json:"kind,omitempty"`
-	State         string      `json:"state"`
-	Dedup         bool        `json:"dedup,omitempty"`
-	QueuePosition int         `json:"queue_position,omitempty"`
-	Error         string      `json:"error,omitempty"`
-	CreatedAt     *time.Time  `json:"created_at,omitempty"`
-	StartedAt     *time.Time  `json:"started_at,omitempty"`
-	FinishedAt    *time.Time  `json:"finished_at,omitempty"`
-	ExpiresAt     *time.Time  `json:"expires_at,omitempty"`
-	Width         int         `json:"width,omitempty"`
-	Height        int         `json:"height,omitempty"`
-	NumComponents int         `json:"num_components,omitempty"`
-	Phases        *phasesJSON `json:"phases,omitempty"`
+	ID            string        `json:"id,omitempty"`
+	Kind          string        `json:"kind,omitempty"`
+	State         string        `json:"state"`
+	Dedup         bool          `json:"dedup,omitempty"`
+	QueuePosition int           `json:"queue_position,omitempty"`
+	Error         string        `json:"error,omitempty"`
+	CreatedAt     *time.Time    `json:"created_at,omitempty"`
+	StartedAt     *time.Time    `json:"started_at,omitempty"`
+	FinishedAt    *time.Time    `json:"finished_at,omitempty"`
+	ExpiresAt     *time.Time    `json:"expires_at,omitempty"`
+	Width         int           `json:"width,omitempty"`
+	Height        int           `json:"height,omitempty"`
+	NumComponents int           `json:"num_components,omitempty"`
+	Phases        *phasesJSON   `json:"phases,omitempty"`
+	Trace         *jobTraceJSON `json:"trace,omitempty"`
+}
+
+// jobTraceJSON is the span-like timing breakdown embedded in a started
+// job's status: where the job's wall time went, from submission through
+// queue wait, decode, the labeling run (with per-phase splits via the
+// sibling phases object) to completion. It is derived from the store's
+// transition timestamps, so it needs no extra bookkeeping on the hot path.
+type jobTraceJSON struct {
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	DecodeNs    int64 `json:"decode_ns,omitempty"`
+	RunNs       int64 `json:"run_ns,omitempty"`
+	TotalNs     int64 `json:"total_ns,omitempty"`
 }
 
 type jobsSubmitResponse struct {
@@ -83,8 +96,19 @@ func jobJSONFrom(j jobs.Job, dedup bool) jobJSON {
 	if !j.ExpiresAt.IsZero() {
 		out.ExpiresAt = &j.ExpiresAt
 	}
+	if !j.Started.IsZero() {
+		tr := &jobTraceJSON{QueueWaitNs: j.Started.Sub(j.Created).Nanoseconds()}
+		if !j.Finished.IsZero() {
+			tr.RunNs = j.Finished.Sub(j.Started).Nanoseconds()
+			tr.TotalNs = j.Finished.Sub(j.Created).Nanoseconds()
+		}
+		out.Trace = tr
+	}
 	if r := j.Result; r != nil {
 		out.Width, out.Height, out.NumComponents = r.Width, r.Height, r.NumComponents
+		if out.Trace != nil {
+			out.Trace.DecodeNs = r.DecodeNs
+		}
 		if r.Phases.Total() > 0 {
 			out.Phases = &phasesJSON{
 				ScanNs:    r.Phases.Scan.Nanoseconds(),
@@ -279,6 +303,7 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 		width, height int
 		density       float64
 	)
+	decodeStart := time.Now()
 	if kind == jobs.KindStats {
 		src, derr := pnm.NewBandReaderBytes(body, level)
 		if derr != nil {
@@ -317,6 +342,7 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 		j, _ := h.jobs.Get(id)
 		return jobJSONFrom(j, false), err
 	}
+	decodeNs := time.Since(decodeStart).Nanoseconds()
 	h.jobs.SetQueuePos(id, gen, sub.QueuePosition())
 
 	go func() {
@@ -325,7 +351,7 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 			h.jobs.Fail(id, gen, werr)
 			return
 		}
-		jr := &jobs.Result{Width: width, Height: height, Density: density}
+		jr := &jobs.Result{Width: width, Height: height, Density: density, DecodeNs: decodeNs}
 		if bres != nil {
 			jr.Stats = bres
 			jr.BandRows = bandRows

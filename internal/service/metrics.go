@@ -8,8 +8,23 @@ import (
 	"repro/internal/jobs"
 )
 
+// Phase indices for the per-phase duration histograms.
+const (
+	phaseScan = iota
+	phaseMerge
+	phaseFlatten
+	phaseRelabel
+	phaseCount
+)
+
+// phaseNames maps phase indices to the `phase` label values on
+// ccserve_phase_duration_ns.
+var phaseNames = [phaseCount]string{"scan", "merge", "flatten", "relabel"}
+
 // metrics is the engine's live counter set. Everything is atomic so the hot
-// path never takes a lock to account a request.
+// path never takes a lock to account a request; the histograms are atomic
+// log₂-bucket arrays (see hist), so distribution tracking is equally
+// lock- and allocation-free.
 type metrics struct {
 	requests   atomic.Int64 // Label calls, admitted or not
 	completed  atomic.Int64 // successful labelings
@@ -25,9 +40,15 @@ type metrics struct {
 	relabelNs  atomic.Int64 // cumulative PhaseTimes.Relabel
 	jobNs      atomic.Int64 // cumulative wall time of completed raster jobs (RetryAfter's mean)
 	jobsTimed  atomic.Int64 // completions accounted in jobNs (stream jobs excluded)
+
+	queueWaitHist hist             // enqueue → worker-dequeue wait, all jobs
+	jobHist       hist             // worker service time, raster jobs
+	phaseHist     [phaseCount]hist // per-phase durations, raster jobs
 }
 
-// Snapshot is a point-in-time copy of the engine's counters.
+// Snapshot is a point-in-time copy of the engine's counters, plus
+// approximate job-latency quantiles read from the service-time histogram
+// (exact within the 2× log₂-bucket resolution).
 type Snapshot struct {
 	Requests   int64 `json:"requests"`
 	Completed  int64 `json:"completed"`
@@ -44,6 +65,9 @@ type Snapshot struct {
 	FlattenNs  int64 `json:"flatten_ns"`
 	RelabelNs  int64 `json:"relabel_ns"`
 	JobNs      int64 `json:"job_ns"`
+	JobP50Ns   int64 `json:"job_latency_p50_ns"`
+	JobP95Ns   int64 `json:"job_latency_p95_ns"`
+	JobP99Ns   int64 `json:"job_latency_p99_ns"`
 }
 
 // Snapshot copies the current counters. QueueDepth is the number of requests
@@ -65,21 +89,44 @@ func (e *Engine) Snapshot() Snapshot {
 		FlattenNs:  e.metrics.flattenNs.Load(),
 		RelabelNs:  e.metrics.relabelNs.Load(),
 		JobNs:      e.metrics.jobNs.Load(),
+		JobP50Ns:   e.metrics.jobHist.quantile(0.50),
+		JobP95Ns:   e.metrics.jobHist.quantile(0.95),
+		JobP99Ns:   e.metrics.jobHist.quantile(0.99),
 	}
 }
 
-// promMetric is one line pair of the ccserve_* text exposition.
+// writeHistograms renders the engine's latency histograms — queue wait,
+// raster service time, and the per-phase family — in Prometheus histogram
+// exposition. Shared-package plumbing for the /metrics handler.
+func (e *Engine) writeHistograms(w io.Writer) {
+	writePromHist(w, "queue_wait_ns",
+		"Time requests waited in the engine queue before a worker picked them up, in nanoseconds (log2 buckets).",
+		[]histSeries{{h: &e.metrics.queueWaitHist}})
+	writePromHist(w, "job_service_ns",
+		"Worker service time of completed raster labelings (queue wait excluded), in nanoseconds (log2 buckets).",
+		[]histSeries{{h: &e.metrics.jobHist}})
+	series := make([]histSeries, 0, phaseCount)
+	for i := range e.metrics.phaseHist {
+		series = append(series, histSeries{labels: `phase="` + phaseNames[i] + `"`, h: &e.metrics.phaseHist[i]})
+	}
+	writePromHist(w, "phase_duration_ns",
+		"Per-request duration of each labeling phase, in nanoseconds (log2 buckets).", series)
+}
+
+// promMetric is one metric of the ccserve_* text exposition.
 type promMetric struct {
-	kind, name string
-	v          int64
+	kind, name, help string
+	v                int64
 }
 
 // writeProm renders metrics in the Prometheus text exposition format under
-// the ccserve_ prefix; shared by the engine snapshot and the job census.
+// the ccserve_ prefix — HELP and TYPE for every metric; shared by the
+// engine snapshot and the job census.
 func writeProm(w io.Writer, ms []promMetric) (int64, error) {
 	var total int64
 	for _, m := range ms {
-		n, err := fmt.Fprintf(w, "# TYPE ccserve_%s %s\nccserve_%s %d\n", m.name, m.kind, m.name, m.v)
+		n, err := fmt.Fprintf(w, "# HELP ccserve_%s %s\n# TYPE ccserve_%s %s\nccserve_%s %d\n",
+			m.name, m.help, m.name, m.kind, m.name, m.v)
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -91,21 +138,24 @@ func writeProm(w io.Writer, ms []promMetric) (int64, error) {
 // WriteTo renders the snapshot in the Prometheus text exposition format.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	return writeProm(w, []promMetric{
-		{"counter", "requests_total", s.Requests},
-		{"counter", "completed_total", s.Completed},
-		{"counter", "rejected_total", s.Rejected},
-		{"counter", "errors_total", s.Errors},
-		{"counter", "canceled_total", s.Canceled},
-		{"gauge", "in_flight", s.InFlight},
-		{"gauge", "queue_depth", s.QueueDepth},
-		{"gauge", "workers", s.Workers},
-		{"counter", "pixels_total", s.Pixels},
-		{"counter", "components_total", s.Components},
-		{"counter", "phase_scan_ns_total", s.ScanNs},
-		{"counter", "phase_merge_ns_total", s.MergeNs},
-		{"counter", "phase_flatten_ns_total", s.FlattenNs},
-		{"counter", "phase_relabel_ns_total", s.RelabelNs},
-		{"counter", "job_latency_ns_total", s.JobNs},
+		{"counter", "requests_total", "Labeling requests received, admitted or not.", s.Requests},
+		{"counter", "completed_total", "Labelings that completed successfully.", s.Completed},
+		{"counter", "rejected_total", "Requests shed by queue backpressure or engine shutdown.", s.Rejected},
+		{"counter", "errors_total", "Labelings that failed (bad options, canceled jobs).", s.Errors},
+		{"counter", "canceled_total", "Callers that gave up waiting before their labeling finished.", s.Canceled},
+		{"gauge", "in_flight", "Labelings running on workers right now.", s.InFlight},
+		{"gauge", "queue_depth", "Requests waiting in the engine queue right now.", s.QueueDepth},
+		{"gauge", "workers", "Size of the labeling worker pool.", s.Workers},
+		{"counter", "pixels_total", "Pixels labeled, cumulative.", s.Pixels},
+		{"counter", "components_total", "Connected components found, cumulative.", s.Components},
+		{"counter", "phase_scan_ns_total", "Cumulative scan-phase nanoseconds.", s.ScanNs},
+		{"counter", "phase_merge_ns_total", "Cumulative merge-phase nanoseconds.", s.MergeNs},
+		{"counter", "phase_flatten_ns_total", "Cumulative flatten-phase nanoseconds.", s.FlattenNs},
+		{"counter", "phase_relabel_ns_total", "Cumulative relabel-phase nanoseconds.", s.RelabelNs},
+		{"counter", "job_latency_ns_total", "Cumulative wall time of completed raster labelings.", s.JobNs},
+		{"gauge", "job_latency_p50_ns", "Approximate median raster service time (log2-bucket upper bound).", s.JobP50Ns},
+		{"gauge", "job_latency_p95_ns", "Approximate 95th-percentile raster service time (log2-bucket upper bound).", s.JobP95Ns},
+		{"gauge", "job_latency_p99_ns", "Approximate 99th-percentile raster service time (log2-bucket upper bound).", s.JobP99Ns},
 	})
 }
 
@@ -114,13 +164,13 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 // engine snapshot.
 func writeJobsMetrics(w io.Writer, c jobs.Counts) (int64, error) {
 	return writeProm(w, []promMetric{
-		{"gauge", "jobs_queued", c.Queued},
-		{"gauge", "jobs_running", c.Running},
-		{"gauge", "jobs_done", c.Done},
-		{"gauge", "jobs_failed", c.Failed},
-		{"gauge", "jobs_result_bytes", c.ResultBytes},
-		{"counter", "jobs_submitted_total", c.Submitted},
-		{"counter", "jobs_dedup_hits_total", c.DedupHits},
-		{"counter", "jobs_evicted_total", c.Evicted},
+		{"gauge", "jobs_queued", "Async jobs waiting for a worker.", c.Queued},
+		{"gauge", "jobs_running", "Async jobs running right now.", c.Running},
+		{"gauge", "jobs_done", "Finished async jobs whose results are retained.", c.Done},
+		{"gauge", "jobs_failed", "Failed async jobs retained for inspection.", c.Failed},
+		{"gauge", "jobs_result_bytes", "Estimated memory pinned by retained job results.", c.ResultBytes},
+		{"counter", "jobs_submitted_total", "Async jobs created (dedup hits excluded).", c.Submitted},
+		{"counter", "jobs_dedup_hits_total", "Submissions answered by an existing identical job.", c.DedupHits},
+		{"counter", "jobs_evicted_total", "Jobs evicted by TTL or the result-byte cap.", c.Evicted},
 	})
 }

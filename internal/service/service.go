@@ -28,6 +28,29 @@
 //	                parameters: level, band (band height in rows).
 //	GET  /healthz   liveness probe.
 //	GET  /metrics   Prometheus-style text: requests, completions,
-//	                rejections, queue depth, and cumulative per-phase
-//	                scan/merge/flatten/relabel nanoseconds.
+//	                rejections, queue depth, cumulative per-phase
+//	                scan/merge/flatten/relabel nanoseconds, and log₂-bucket
+//	                latency histograms (per-endpoint request duration,
+//	                queue wait, job service time, per-phase durations)
+//	                with approximate p50/p95/p99 gauges.
+//
+// # Observability
+//
+// Every request is wrapped by Obs middleware: the X-Request-ID header is
+// honored when present (generated otherwise) and echoed on the response;
+// end-to-end latency lands in a lock-free per-endpoint histogram; and a
+// per-request Trace — queue wait, decode, scan, merge, flatten, relabel,
+// encode — is captured into a fixed-size ring buffer. /v1/label responses
+// carry the trace live as a Server-Timing header; async job status bodies
+// embed a trace derived from the store's transition timestamps. The
+// instrumentation is allocation-free on the hot path (pooled request
+// state, atomic histogram adds, in-place ring copies).
+//
+// NewDebugHandler serves the operator-only surface — net/http/pprof under
+// /debug/pprof/ and the trace-ring dump under GET /debug/requests?n=50
+// (filter one request with ?id=) — as a separate handler so deployments
+// bind it to a loopback listener (ccserve -debug-addr), never the public
+// address. Structured logs (access lines, job lifecycle) flow through the
+// slog.Logger given to NewObs; a nil logger disables logging without
+// disabling the histograms or the trace ring.
 package service

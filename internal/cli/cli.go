@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"slices"
@@ -503,21 +504,148 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
+// reportDiff prints the outcome of a regression diff and returns the
+// process exit code: 0 clean, 3 on gating regressions, 1 when nothing was
+// comparable. Configurations present on only one side are reported, not
+// errors — benchmark grids evolve between PRs, and the gate compares the
+// intersection.
+func reportDiff(stdout, stderr io.Writer, base, cur *experiments.BenchReport, basePath string, tolerance float64, policy *experiments.Policy) int {
+	d := experiments.DiffReports(base, cur, tolerance, policy)
+	if len(d.Added) > 0 {
+		fmt.Fprintf(stdout, "paperbench: %d configuration(s) not in %s (new or rescaled, not compared):\n", len(d.Added), basePath)
+		for _, k := range d.Added {
+			fmt.Fprintf(stdout, "  + %s\n", k)
+		}
+	}
+	if len(d.Removed) > 0 {
+		fmt.Fprintf(stdout, "paperbench: %d baseline configuration(s) not measured by this run:\n", len(d.Removed))
+		for _, k := range d.Removed {
+			fmt.Fprintf(stdout, "  - %s\n", k)
+		}
+	}
+	if d.Compared == 0 {
+		fmt.Fprintf(stderr, "paperbench: no comparable pairs between this run and %s (different -scale or algorithm set?)\n", basePath)
+		return 1
+	}
+	gating := d.Gating()
+	for _, r := range d.Regressions {
+		if r.Allowed {
+			fmt.Fprintf(stdout, "paperbench: allowlisted regression %s %d -> %d ns/op (%.2fx, tolerance +%.0f%%)\n",
+				r.Key, r.BaseNs, r.CurNs, r.Ratio, r.Tolerance*100)
+		}
+	}
+	if len(gating) == 0 {
+		fmt.Fprintf(stdout, "paperbench: no gating ns/op regressions vs %s (%d pairs compared)\n", basePath, d.Compared)
+		return 0
+	}
+	fmt.Fprintf(stdout, "paperbench: %d ns/op regression(s) vs %s:\n", len(gating), basePath)
+	for _, r := range gating {
+		fmt.Fprintf(stdout, "  %-24s %12d -> %12d ns/op (%.2fx, tolerance +%.0f%%)\n",
+			r.Key, r.BaseNs, r.CurNs, r.Ratio, r.Tolerance*100)
+	}
+	return 3
+}
+
+// readReportFile loads a BenchReport from disk.
+func readReportFile(path string) (*experiments.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return experiments.ReadBenchReport(f)
+}
+
+// gitRev resolves the short revision of the working tree, best effort: a
+// grid report self-describes where its numbers came from, but a missing git
+// binary (or a tarball checkout) must not break a benchmark run.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// paperBenchAnalyze implements the -analyze mode: digest a report into
+// markdown + CSV tables, optionally with a trajectory against -baseline.
+func paperBenchAnalyze(path, basePath, outDir string, stdout, stderr io.Writer) int {
+	rep, err := readReportFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "paperbench:", err)
+		return 1
+	}
+	analysis := experiments.Analyze(rep)
+	var baseline *experiments.Analysis
+	if basePath != "" {
+		base, err := readReportFile(basePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+		baseline = experiments.Analyze(base)
+	}
+	if outDir == "" {
+		analysis.WriteMarkdown(stdout, baseline)
+		return 0
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(stderr, "paperbench:", err)
+		return 1
+	}
+	writeOne := func(name string, render func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(outDir, name))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	files := []struct {
+		name   string
+		render func(io.Writer) error
+	}{
+		{"analysis.md", func(w io.Writer) error { return analysis.WriteMarkdown(w, baseline) }},
+		{"configs.csv", analysis.WriteConfigsCSV},
+		{"scaling.csv", analysis.WriteScalingCSV},
+	}
+	for _, file := range files {
+		if err := writeOne(file.name, file.render); err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "paperbench: analysis written to %s (analysis.md, configs.csv, scaling.csv)\n", outDir)
+	return 0
+}
+
 // PaperBench implements the paperbench command: regenerate the paper's
-// tables and figures.
+// tables and figures, run the experiments.json benchmark grid, analyze a
+// benchmark report, or gate on a regression diff.
 func PaperBench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment: all, table2, table3, table4, fig3, fig4, fig5, weak, ablations")
-	scale := fs.Float64("scale", experiments.DefaultConfig.Scale, "image-size scale factor (1.0 = paper sizes)")
-	repeats := fs.Int("repeats", experiments.DefaultConfig.Repeats, "timed repetitions per image")
-	warmup := fs.Int("warmup", experiments.DefaultConfig.Warmup, "untimed warmup runs per image")
+	scale := fs.Float64("scale", experiments.DefaultConfig.Scale, "image-size scale factor (1.0 = paper sizes); overrides the -grid config when set explicitly")
+	repeats := fs.Int("repeats", experiments.DefaultConfig.Repeats, "timed repetitions per image; overrides the -grid config when set explicitly")
+	warmup := fs.Int("warmup", experiments.DefaultConfig.Warmup, "untimed warmup runs per image; overrides the -grid config when set explicitly")
 	jsonOut := fs.String("json", "", "write machine-readable per-algorithm ns/op + allocs to this file ('-' = stdout) instead of running -exp")
-	diffPath := fs.String("diff", "", "run the -json benchmark and compare it against this baseline report (e.g. BENCH_seed.json); exit 3 on regressions beyond -regress")
-	regress := fs.Float64("regress", 0.25, "ns/op regression tolerance for -diff (0.25 = fail beyond +25%)")
+	gridPath := fs.String("grid", "", "run the experiment grid in this config file (e.g. experiments.json) instead of the flat benchmark; combines with -json and -diff")
+	tag := fs.String("tag", "", "tag recorded in the -grid report (default: the config's tag)")
+	diffPath := fs.String("diff", "", "run the benchmark (flat or -grid) and compare it against this baseline report (e.g. BENCH_seed.json); exit 3 on regressions beyond tolerance")
+	regress := fs.Float64("regress", 0.25, "default ns/op regression tolerance for -diff (0.25 = fail beyond +25%)")
+	policyPath := fs.String("regress-policy", "", "per-benchmark tolerance + allowlist policy file for -diff (e.g. perf_policy.json)")
+	analyzePath := fs.String("analyze", "", "analyze this benchmark report (medians/CIs, scaling curves, efficiency) instead of running anything")
+	basePath := fs.String("baseline", "", "with -analyze: add a trajectory section diffing against this report")
+	outDir := fs.String("out", "", "with -analyze: write analysis.md, configs.csv and scaling.csv into this directory (default: markdown to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintln(stderr, "paperbench: -scale must be in (0, 1]")
 		return 2
@@ -530,10 +658,46 @@ func PaperBench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "paperbench: -regress must be positive")
 		return 2
 	}
+
+	if *analyzePath != "" {
+		return paperBenchAnalyze(*analyzePath, *basePath, *outDir, stdout, stderr)
+	}
+
 	cfg := experiments.Config{Scale: *scale, Repeats: *repeats, Warmup: *warmup}
 
-	if *jsonOut != "" || *diffPath != "" {
-		report := experiments.RunBench(cfg)
+	if *jsonOut != "" || *diffPath != "" || *gridPath != "" {
+		var report *experiments.BenchReport
+		if *gridPath != "" {
+			f, err := os.Open(*gridPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+				return 1
+			}
+			gridCfg, err := experiments.ReadGridConfig(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+				return 1
+			}
+			// Explicit flags override the config's knobs, so CI can run the
+			// checked-in grid at a smoke scale without a second config file.
+			if explicit["scale"] {
+				gridCfg.Scale = *scale
+			}
+			if explicit["repeats"] {
+				gridCfg.Repeats = *repeats
+			}
+			if explicit["warmup"] {
+				gridCfg.Warmup = *warmup
+			}
+			report = experiments.RunGrid(gridCfg, experiments.GridMeta{
+				Tag:      *tag,
+				GitRev:   gitRev(),
+				Progress: stderr,
+			})
+		} else {
+			report = experiments.RunBench(cfg)
+		}
 		if *jsonOut != "" {
 			out := stdout
 			if *jsonOut != "-" {
@@ -556,34 +720,26 @@ func PaperBench(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if *diffPath != "" {
-			f, err := os.Open(*diffPath)
+			base, err := readReportFile(*diffPath)
 			if err != nil {
 				fmt.Fprintln(stderr, "paperbench:", err)
 				return 1
 			}
-			base, err := experiments.ReadBenchReport(f)
-			f.Close()
-			if err != nil {
-				fmt.Fprintln(stderr, "paperbench:", err)
-				return 1
+			var policy *experiments.Policy
+			if *policyPath != "" {
+				pf, err := os.Open(*policyPath)
+				if err != nil {
+					fmt.Fprintln(stderr, "paperbench:", err)
+					return 1
+				}
+				policy, err = experiments.ReadPolicy(pf)
+				pf.Close()
+				if err != nil {
+					fmt.Fprintln(stderr, "paperbench:", err)
+					return 1
+				}
 			}
-			regs, compared := experiments.DiffReports(base, report, *regress)
-			if compared == 0 {
-				fmt.Fprintf(stderr, "paperbench: no comparable pairs between this run and %s (different -scale or algorithm set?)\n", *diffPath)
-				return 1
-			}
-			if len(regs) == 0 {
-				fmt.Fprintf(stdout, "paperbench: no ns/op regressions beyond +%.0f%% vs %s (%d pairs compared)\n",
-					*regress*100, *diffPath, compared)
-				return 0
-			}
-			fmt.Fprintf(stdout, "paperbench: %d ns/op regression(s) beyond +%.0f%% vs %s:\n",
-				len(regs), *regress*100, *diffPath)
-			for _, r := range regs {
-				fmt.Fprintf(stdout, "  %-10s %-12s %12d -> %12d ns/op (%.2fx)\n",
-					r.Algorithm, r.Class, r.BaseNs, r.CurNs, r.Ratio)
-			}
-			return 3
+			return reportDiff(stdout, stderr, base, report, *diffPath, *regress, policy)
 		}
 		return 0
 	}

@@ -47,8 +47,45 @@ func TestPaperBenchDiffClean(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stdout: %s, stderr: %s", code, out.String(), errw.String())
 	}
-	if !strings.Contains(out.String(), "no ns/op regressions") {
+	if !strings.Contains(out.String(), "no gating ns/op regressions") {
 		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+// TestPaperBenchDiffPolicyAllowlist verifies the escape hatch end to end: a
+// run that regresses on every pair exits clean when every configuration is
+// allowlisted, and the allowlisted regressions are still reported.
+func TestPaperBenchDiffPolicyAllowlist(t *testing.T) {
+	base := writeBaseline(t, 1000, true) // baseline 1000x faster: every pair regresses
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	policy := experiments.Policy{DefaultTolerance: 0.25}
+	for _, r := range rep.Results {
+		policy.Allow = append(policy.Allow,
+			experiments.ConfigKey{Algorithm: r.Algorithm, Class: r.Class, Threads: r.Threads}.String())
+	}
+	policyPath := filepath.Join(t.TempDir(), "policy.json")
+	praw, err := json.Marshal(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(policyPath, praw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := cli.PaperBench([]string{"-scale", "0.001", "-repeats", "1", "-warmup", "0",
+		"-diff", base, "-regress-policy", policyPath}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout: %s, stderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "allowlisted regression") {
+		t.Fatalf("allowlisted regressions not reported: %s", out.String())
 	}
 }
 

@@ -1,0 +1,174 @@
+package cli_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+)
+
+// writeGridConfig drops a small grid config file and returns its path.
+func writeGridConfig(t *testing.T, cfg experiments.GridConfig) string {
+	t.Helper()
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "experiments.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPaperBenchGridJSON(t *testing.T) {
+	grid := writeGridConfig(t, experiments.GridConfig{
+		Tag: "grid-test", Scale: 0.001, Repeats: 2, Warmup: 0,
+		Algorithms: []string{"BREMSP", "PBREMSP"},
+		Classes:    []string{"Aerial"},
+		GOMAXPROCS: []int{1, 2},
+	})
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errw bytes.Buffer
+	code := cli.PaperBench([]string{"-grid", grid, "-json", outPath}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout: %s, stderr: %s", code, out.String(), errw.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := experiments.ReadBenchReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tag != "grid-test" || rep.GoVersion == "" || rep.NumCPU == 0 {
+		t.Fatalf("report metadata = tag %q, go %q, cpus %d", rep.Tag, rep.GoVersion, rep.NumCPU)
+	}
+	// BREMSP collapses the thread axis, PBREMSP sweeps it.
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	// The sweep logs progress per configuration on stderr.
+	if got := strings.Count(errw.String(), "grid:"); got != 3 {
+		t.Fatalf("progress lines = %d, want 3: %s", got, errw.String())
+	}
+}
+
+// TestPaperBenchGridFlagOverride pins the CI contract: explicit -scale /
+// -repeats flags beat the checked-in config so the PR smoke run can reuse
+// experiments.json at a tiny scale.
+func TestPaperBenchGridFlagOverride(t *testing.T) {
+	grid := writeGridConfig(t, experiments.GridConfig{
+		Tag: "override", Scale: 0.9, Repeats: 9, Warmup: 9,
+		Algorithms: []string{"CCLRemSP"}, Classes: []string{"Misc"},
+	})
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errw bytes.Buffer
+	code := cli.PaperBench([]string{"-grid", grid, "-json", outPath,
+		"-scale", "0.001", "-repeats", "2", "-warmup", "0"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := experiments.ReadBenchReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != 0.001 || rep.Repeats != 2 {
+		t.Fatalf("flags did not override config: scale %v, repeats %d", rep.Scale, rep.Repeats)
+	}
+	if len(rep.Results) != 1 || len(rep.Results[0].SampleNs) != 2 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+}
+
+func TestPaperBenchGridErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli.PaperBench([]string{"-grid", "/nonexistent.json"}, &out, &errw); code != 1 {
+		t.Errorf("missing grid config: exit %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"scale": 0.01, "repeats": 1, "algorithms": ["Nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errw.Reset()
+	if code := cli.PaperBench([]string{"-grid", bad}, &out, &errw); code != 1 {
+		t.Errorf("invalid grid config: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "unknown grid algorithm") {
+		t.Errorf("stderr missing validation error: %s", errw.String())
+	}
+}
+
+func TestPaperBenchAnalyze(t *testing.T) {
+	grid := writeGridConfig(t, experiments.GridConfig{
+		Tag: "analyze-test", Scale: 0.001, Repeats: 2, Warmup: 0,
+		Algorithms: []string{"BREMSP", "PBREMSP"},
+		Classes:    []string{"Aerial"},
+		GOMAXPROCS: []int{1, 2},
+	})
+	repPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errw bytes.Buffer
+	if code := cli.PaperBench([]string{"-grid", grid, "-json", repPath}, &out, &errw); code != 0 {
+		t.Fatalf("grid run failed: %s", errw.String())
+	}
+
+	// Markdown to stdout.
+	out.Reset()
+	errw.Reset()
+	if code := cli.PaperBench([]string{"-analyze", repPath}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{
+		"# Benchmark analysis: analyze-test",
+		"## Per-configuration statistics",
+		"## Speedup vs threads",
+		"### PBREMSP (baseline: BREMSP)",
+		"## Parallel efficiency",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// File output with a self-trajectory.
+	outDir := filepath.Join(t.TempDir(), "analysis")
+	out.Reset()
+	if code := cli.PaperBench([]string{"-analyze", repPath, "-baseline", repPath, "-out", outDir}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	md, err := os.ReadFile(filepath.Join(outDir, "analysis.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "## Trajectory:") {
+		t.Errorf("analysis.md missing trajectory section:\n%s", md)
+	}
+	for _, name := range []string{"configs.csv", "scaling.csv"} {
+		raw, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := strings.Count(string(raw), "\n"); lines < 2 {
+			t.Errorf("%s has only %d line(s)", name, lines)
+		}
+	}
+
+	// A report against itself can never regress: -grid -diff wiring.
+	out.Reset()
+	errw.Reset()
+	if code := cli.PaperBench([]string{"-analyze", "/nonexistent.json"}, &out, &errw); code != 1 {
+		t.Errorf("missing report: exit %d, want 1", code)
+	}
+}

@@ -20,51 +20,165 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 	return &rep, nil
 }
 
-// Regression is one algorithm x class pair whose ns/op worsened beyond the
-// tolerance when a fresh run is compared against a baseline report.
+// Regression is one configuration whose ns/op worsened beyond its tolerance
+// when a fresh run is compared against a baseline report.
 type Regression struct {
-	Algorithm string
-	Class     string
-	BaseNs    int64
-	CurNs     int64
+	Key    ConfigKey
+	BaseNs int64
+	CurNs  int64
 	// Ratio is CurNs / BaseNs (1.30 = 30% slower than the baseline).
 	Ratio float64
+	// Tolerance is the threshold this pair was judged against.
+	Tolerance float64
+	// Allowed marks a regression on the policy's allowlist: reported, but
+	// not gating.
+	Allowed bool
 }
 
-// DiffReports compares a fresh report against a baseline and returns the
-// pairs whose ns/op regressed by more than tolerance (0.25 = +25%), sorted
-// worst first, plus the number of pairs actually compared. Pairs present in
-// only one report are skipped — algorithms come and go across PRs — as are
-// baseline rows with a non-positive ns/op and pairs measured over different
-// pixel counts (a -scale mismatch makes the ns/op incomparable); callers
-// should treat compared == 0 as "no check happened", not as a pass. ns/op
-// is machine-relative, so a diff is only meaningful when both reports come
-// from the same machine (CI compares two runs of the same job class).
-func DiffReports(base, cur *BenchReport, tolerance float64) (regs []Regression, compared int) {
-	type key struct{ alg, class string }
-	type baseRow struct{ ns, pixels int64 }
-	baseNs := make(map[key]baseRow, len(base.Results))
-	for _, r := range base.Results {
-		baseNs[key{r.Algorithm, r.Class}] = baseRow{r.NsPerOp, r.Pixels}
+// Policy tunes the regression gate per benchmark. The zero value applies
+// DefaultTolerance to everything (and a zero DefaultTolerance means the
+// caller's flag-level tolerance is used instead).
+type Policy struct {
+	// DefaultTolerance is the ns/op regression tolerance applied to every
+	// configuration without an override (0.25 = fail beyond +25%).
+	DefaultTolerance float64 `json:"default_tolerance"`
+	// Overrides maps configuration keys — "ALG/Class" or "ALG/Class@T",
+	// see ConfigKey.String — to their own tolerance. Benchmarks known to be
+	// noisy get looser thresholds without loosening the whole gate.
+	Overrides map[string]float64 `json:"overrides"`
+	// Allow lists configuration keys whose regressions are reported but
+	// never fail the gate: the escape hatch for an accepted, understood
+	// slowdown (remove the entry once the baseline is regenerated).
+	Allow []string `json:"allow"`
+}
+
+// ReadPolicy decodes and validates a regression policy file.
+func ReadPolicy(r io.Reader) (*Policy, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Policy
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("experiments: decoding regression policy: %w", err)
 	}
-	for _, r := range cur.Results {
-		br, ok := baseNs[key{r.Algorithm, r.Class}]
-		b := br.ns
-		if !ok || b <= 0 || br.pixels != r.Pixels {
+	if p.DefaultTolerance < 0 {
+		return nil, fmt.Errorf("experiments: policy default_tolerance %v < 0", p.DefaultTolerance)
+	}
+	for key, tol := range p.Overrides {
+		if tol <= 0 {
+			return nil, fmt.Errorf("experiments: policy override %q has non-positive tolerance %v", key, tol)
+		}
+	}
+	return &p, nil
+}
+
+// tolerance resolves the threshold for one configuration.
+func (p *Policy) tolerance(key ConfigKey) float64 {
+	if p == nil {
+		return 0
+	}
+	if tol, ok := p.Overrides[key.String()]; ok {
+		return tol
+	}
+	return p.DefaultTolerance
+}
+
+// allowed reports whether the key is on the escape-hatch allowlist.
+func (p *Policy) allowed(key ConfigKey) bool {
+	if p == nil {
+		return false
+	}
+	for _, k := range p.Allow {
+		if k == key.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffSummary is the outcome of comparing a fresh report against a
+// baseline: the regressions beyond tolerance (worst first, allowlisted ones
+// flagged rather than omitted), how many pairs were actually compared, and
+// the configurations only one side measured. Added/Removed exist because
+// grids evolve between PRs — a changed benchmark set must be visible, not
+// an error and not silence.
+type DiffSummary struct {
+	Regressions []Regression
+	Compared    int
+	Added       []ConfigKey // in cur only (or pixel-count mismatch)
+	Removed     []ConfigKey // in base only (or pixel-count mismatch)
+}
+
+// Gating returns the regressions that should fail a gate: beyond tolerance
+// and not allowlisted.
+func (d *DiffSummary) Gating() []Regression {
+	gating := make([]Regression, 0, len(d.Regressions))
+	for _, r := range d.Regressions {
+		if !r.Allowed {
+			gating = append(gating, r)
+		}
+	}
+	return gating
+}
+
+// DiffReports compares a fresh report against a baseline. A pair is
+// comparable when both reports measured the same ConfigKey (algorithm,
+// class, threads) over the same pixel count with a positive baseline ns/op;
+// everything else lands on the Added/Removed lists (a -scale mismatch makes
+// ns/op incomparable, so mismatched pixel counts count as both added and
+// removed). tolerance is the default threshold; a non-nil policy overrides
+// it per configuration and supplies the allowlist. Callers should treat
+// Compared == 0 as "no check happened", not as a pass. ns/op is
+// machine-relative, so a diff is only meaningful when both reports come
+// from the same machine class.
+func DiffReports(base, cur *BenchReport, tolerance float64, policy *Policy) *DiffSummary {
+	type baseRow struct {
+		ns, pixels int64
+		matched    bool
+	}
+	baseNs := make(map[ConfigKey]*baseRow, len(base.Results))
+	baseOrder := make([]ConfigKey, 0, len(base.Results))
+	for _, r := range base.Results {
+		key := ConfigKey{r.Algorithm, r.Class, r.Threads}
+		if _, dup := baseNs[key]; dup {
 			continue
 		}
-		compared++
-		ratio := float64(r.NsPerOp) / float64(b)
-		if ratio > 1+tolerance {
-			regs = append(regs, Regression{
-				Algorithm: r.Algorithm,
-				Class:     r.Class,
-				BaseNs:    b,
+		baseNs[key] = &baseRow{ns: r.NsPerOp, pixels: r.Pixels}
+		baseOrder = append(baseOrder, key)
+	}
+	d := &DiffSummary{}
+	for _, r := range cur.Results {
+		key := ConfigKey{r.Algorithm, r.Class, r.Threads}
+		br, ok := baseNs[key]
+		if !ok || br.pixels != r.Pixels {
+			d.Added = append(d.Added, key)
+			continue
+		}
+		br.matched = true
+		if br.ns <= 0 {
+			continue
+		}
+		d.Compared++
+		tol := tolerance
+		if policy != nil && policy.tolerance(key) > 0 {
+			tol = policy.tolerance(key)
+		}
+		ratio := float64(r.NsPerOp) / float64(br.ns)
+		if ratio > 1+tol {
+			d.Regressions = append(d.Regressions, Regression{
+				Key:       key,
+				BaseNs:    br.ns,
 				CurNs:     r.NsPerOp,
 				Ratio:     ratio,
+				Tolerance: tol,
+				Allowed:   policy.allowed(key),
 			})
 		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
-	return regs, compared
+	for _, key := range baseOrder {
+		if !baseNs[key].matched {
+			d.Removed = append(d.Removed, key)
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Ratio > d.Regressions[j].Ratio })
+	return d
 }

@@ -15,6 +15,10 @@ func row(alg, class string, ns int64) experiments.BenchResult {
 	return experiments.BenchResult{Algorithm: alg, Class: class, NsPerOp: ns}
 }
 
+func trow(alg, class string, threads int, ns int64) experiments.BenchResult {
+	return experiments.BenchResult{Algorithm: alg, Class: class, Threads: threads, NsPerOp: ns}
+}
+
 func TestDiffReports(t *testing.T) {
 	base := report(
 		row("BREMSP", "Aerial", 1000),
@@ -27,31 +31,126 @@ func TestDiffReports(t *testing.T) {
 		row("BREMSP", "Aerial", 1600),  // +60%: regression
 		row("BREMSP", "Texture", 1200), // +20%: within tolerance
 		row("ARemSP", "Aerial", 2600),  // +30%: regression
-		row("New", "Aerial", 900),      // not in baseline: ignored
+		row("New", "Aerial", 900),      // not in baseline: added
 		row("Zero", "Aerial", 900),     // zero baseline: ignored
 	)
 	scaled := row("Gone", "Aerial", 5000) // would regress, but measured at another scale
 	scaled.Pixels = 999
 	cur.Results = append(cur.Results, scaled)
-	regs, compared := experiments.DiffReports(base, cur, 0.25)
-	if len(regs) != 2 {
-		t.Fatalf("got %d regressions %+v, want 2", len(regs), regs)
+	d := experiments.DiffReports(base, cur, 0.25, nil)
+	if len(d.Regressions) != 2 {
+		t.Fatalf("got %d regressions %+v, want 2", len(d.Regressions), d.Regressions)
 	}
-	if compared != 3 { // the two BREMSP rows + ARemSP; New/Zero/scaled skipped
-		t.Fatalf("compared %d pairs, want 3", compared)
+	if d.Compared != 3 { // the two BREMSP rows + ARemSP; New/Zero/scaled skipped
+		t.Fatalf("compared %d pairs, want 3", d.Compared)
 	}
 	// Sorted worst first.
-	if regs[0].Algorithm != "BREMSP" || regs[0].Class != "Aerial" || regs[0].Ratio != 1.6 {
-		t.Fatalf("worst regression = %+v", regs[0])
+	if r := d.Regressions[0]; r.Key.Algorithm != "BREMSP" || r.Key.Class != "Aerial" || r.Ratio != 1.6 {
+		t.Fatalf("worst regression = %+v", r)
 	}
-	if regs[1].Algorithm != "ARemSP" || regs[1].CurNs != 2600 {
-		t.Fatalf("second regression = %+v", regs[1])
+	if r := d.Regressions[1]; r.Key.Algorithm != "ARemSP" || r.CurNs != 2600 {
+		t.Fatalf("second regression = %+v", r)
 	}
-	if got, _ := experiments.DiffReports(base, cur, 0.75); len(got) != 0 {
-		t.Fatalf("tolerance 0.75: got %+v, want none", got)
+	// The evolved set is reported, not an error: New appears as added (plus
+	// the rescaled Gone row), and Gone/Zero-at-new-pixels as removed.
+	wantAdded := []string{"New/Aerial", "Gone/Aerial"}
+	if len(d.Added) != len(wantAdded) {
+		t.Fatalf("added = %v, want %v", d.Added, wantAdded)
 	}
-	if _, n := experiments.DiffReports(report(row("X", "Y", 5)), cur, 0.25); n != 0 {
-		t.Fatalf("disjoint reports compared %d pairs, want 0", n)
+	for i, k := range d.Added {
+		if k.String() != wantAdded[i] {
+			t.Fatalf("added[%d] = %s, want %s", i, k, wantAdded[i])
+		}
+	}
+	if len(d.Removed) != 1 || d.Removed[0].String() != "Gone/Aerial" {
+		t.Fatalf("removed = %v, want [Gone/Aerial]", d.Removed)
+	}
+	if got := experiments.DiffReports(base, cur, 0.75, nil); len(got.Regressions) != 0 {
+		t.Fatalf("tolerance 0.75: got %+v, want none", got.Regressions)
+	}
+	if d := experiments.DiffReports(report(row("X", "Y", 5)), cur, 0.25, nil); d.Compared != 0 {
+		t.Fatalf("disjoint reports compared %d pairs, want 0", d.Compared)
+	}
+}
+
+func TestDiffReportsThreadsAware(t *testing.T) {
+	base := report(
+		trow("PBREMSP", "NLCD", 1, 4000),
+		trow("PBREMSP", "NLCD", 4, 1500),
+	)
+	cur := report(
+		trow("PBREMSP", "NLCD", 1, 4100), // fine
+		trow("PBREMSP", "NLCD", 4, 3000), // 2x: regression at T=4 only
+		trow("PBREMSP", "NLCD", 8, 1000), // new thread count: added
+	)
+	d := experiments.DiffReports(base, cur, 0.25, nil)
+	if d.Compared != 2 {
+		t.Fatalf("compared %d, want 2", d.Compared)
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0].Key.String() != "PBREMSP/NLCD@4" {
+		t.Fatalf("regressions = %+v, want exactly PBREMSP/NLCD@4", d.Regressions)
+	}
+	if len(d.Added) != 1 || d.Added[0].String() != "PBREMSP/NLCD@8" {
+		t.Fatalf("added = %v, want [PBREMSP/NLCD@8]", d.Added)
+	}
+}
+
+func TestDiffReportsPolicy(t *testing.T) {
+	base := report(
+		row("BREMSP", "Aerial", 1000),
+		row("ARemSP", "Aerial", 1000),
+		trow("PBREMSP", "NLCD", 4, 1000),
+	)
+	cur := report(
+		row("BREMSP", "Aerial", 1400),    // +40%: over default 0.25, under override 0.5
+		row("ARemSP", "Aerial", 1400),    // +40%: allowlisted
+		trow("PBREMSP", "NLCD", 4, 1400), // +40%: gating
+	)
+	policy := &experiments.Policy{
+		DefaultTolerance: 0.25,
+		Overrides:        map[string]float64{"BREMSP/Aerial": 0.5},
+		Allow:            []string{"ARemSP/Aerial"},
+	}
+	d := experiments.DiffReports(base, cur, 0.25, policy)
+	if len(d.Regressions) != 2 {
+		t.Fatalf("regressions = %+v, want 2 (allowlisted + gating)", d.Regressions)
+	}
+	gating := d.Gating()
+	if len(gating) != 1 || gating[0].Key.String() != "PBREMSP/NLCD@4" {
+		t.Fatalf("gating = %+v, want exactly PBREMSP/NLCD@4", gating)
+	}
+	var sawAllowed bool
+	for _, r := range d.Regressions {
+		if r.Key.String() == "ARemSP/Aerial" {
+			if !r.Allowed {
+				t.Fatalf("ARemSP/Aerial should be allowlisted: %+v", r)
+			}
+			sawAllowed = true
+		}
+	}
+	if !sawAllowed {
+		t.Fatal("allowlisted regression missing from report")
+	}
+}
+
+func TestReadPolicy(t *testing.T) {
+	p, err := experiments.ReadPolicy(strings.NewReader(
+		`{"default_tolerance": 0.3, "overrides": {"BREMSP/NLCD@4": 0.5}, "allow": ["ARun/Misc"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DefaultTolerance != 0.3 || p.Overrides["BREMSP/NLCD@4"] != 0.5 || p.Allow[0] != "ARun/Misc" {
+		t.Fatalf("policy = %+v", p)
+	}
+	for _, bad := range []string{
+		`{"default_tolerance": -1}`,
+		`{"overrides": {"X/Y": 0}}`,
+		`{"unknown_knob": 1}`,
+		`{not json`,
+	} {
+		if _, err := experiments.ReadPolicy(strings.NewReader(bad)); err == nil {
+			t.Fatalf("policy %q accepted", bad)
+		}
 	}
 }
 

@@ -6,48 +6,45 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/baseline"
 	"repro/internal/binimg"
-	"repro/internal/core"
 )
 
 // BenchResult is one machine-readable benchmark row: one algorithm over one
-// dataset class.
+// dataset class at one thread count.
 type BenchResult struct {
-	Algorithm   string `json:"algorithm"`
-	Class       string `json:"class"`
-	Pixels      int64  `json:"pixels"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
+	Algorithm string `json:"algorithm"`
+	Class     string `json:"class"`
+	// Threads is the pinned GOMAXPROCS / algorithm thread count of a grid
+	// row; 0 (omitted) means the library default, which is what the flat
+	// RunBench rows and the pre-grid BENCH_seed.json use.
+	Threads     int   `json:"threads,omitempty"`
+	Pixels      int64 `json:"pixels"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// SampleNs holds the per-repeat wall times behind NsPerOp when the row
+	// came from the grid runner; the analyzer derives medians and
+	// confidence intervals from it. Absent in flat RunBench rows.
+	SampleNs []int64 `json:"sample_ns,omitempty"`
 }
 
 // BenchReport is the envelope cmd/paperbench -json writes. BENCH_seed.json
 // at the repository root is one of these, produced at -scale 0.05; future
 // changes diff their own run against it to track the perf trajectory
-// (ns/op values are machine-relative, allocs/op are not).
+// (ns/op values are machine-relative, allocs/op are not). Grid runs
+// (cmd/paperbench -grid) add the self-describing environment fields so a
+// checked-in BENCH_<tag>.json records where its numbers came from.
 type BenchReport struct {
+	Tag        string        `json:"tag,omitempty"`
 	Scale      float64       `json:"scale"`
 	Repeats    int           `json:"repeats"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	GitRev     string        `json:"git_rev,omitempty"`
 	Results    []BenchResult `json:"results"`
-}
-
-// benchAlgs is the algorithm column set of the JSON benchmark: the paper's
-// sequential algorithms plus the bit-packed pair, with the parallel ones at
-// GOMAXPROCS.
-var benchAlgs = []struct {
-	Name string
-	Run  func(*binimg.Image) (*binimg.LabelMap, int)
-}{
-	{"CCLLRPC", baseline.CCLLRPC},
-	{"CCLRemSP", core.CCLREMSP},
-	{"ARun", baseline.ARUN},
-	{"ARemSP", core.AREMSP},
-	{"BREMSP", core.BREMSP},
-	{"PAREMSP", func(im *binimg.Image) (*binimg.LabelMap, int) { return core.PAREMSP(im, 0) }},
-	{"PBREMSP", func(im *binimg.Image) (*binimg.LabelMap, int) { return core.PBREMSP(im, 0) }},
 }
 
 // BenchJSON measures every benchmark algorithm over every dataset class at
@@ -78,10 +75,10 @@ func RunBench(cfg Config) *BenchReport {
 			pixels += int64(len(img.Pix))
 			imgs = append(imgs, img)
 		}
-		for _, alg := range benchAlgs {
+		for _, alg := range GridAlgs {
 			run := func() {
 				for _, img := range imgs {
-					alg.Run(img)
+					alg.Run(img, 0)
 				}
 			}
 			for i := 0; i < cfg.Warmup; i++ {

@@ -1,0 +1,115 @@
+package experiments_test
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestReadGridConfigValidation(t *testing.T) {
+	good := `{"tag":"t","scale":0.01,"repeats":2,"warmup":1,
+		"algorithms":["BREMSP","PBREMSP"],"classes":["Aerial"],"gomaxprocs":[1,2]}`
+	cfg, err := experiments.ReadGridConfig(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tag != "t" || cfg.Scale != 0.01 || len(cfg.Algorithms) != 2 || cfg.GOMAXPROCS[1] != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	for name, bad := range map[string]string{
+		"zero scale":     `{"scale":0,"repeats":1}`,
+		"huge scale":     `{"scale":2,"repeats":1}`,
+		"zero repeats":   `{"scale":0.01,"repeats":0}`,
+		"bad warmup":     `{"scale":0.01,"repeats":1,"warmup":-1}`,
+		"unknown alg":    `{"scale":0.01,"repeats":1,"algorithms":["Nope"]}`,
+		"unknown class":  `{"scale":0.01,"repeats":1,"classes":["Nope"]}`,
+		"neg gomaxprocs": `{"scale":0.01,"repeats":1,"gomaxprocs":[-1]}`,
+		"unknown field":  `{"scale":0.01,"repeats":1,"classess":["Aerial"]}`,
+		"not json":       `{nope`,
+	} {
+		if _, err := experiments.ReadGridConfig(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}
+
+func TestRunGridSweep(t *testing.T) {
+	cfg := &experiments.GridConfig{
+		Tag:        "test-grid",
+		Scale:      0.001,
+		Repeats:    2,
+		Warmup:     0,
+		Algorithms: []string{"BREMSP", "PBREMSP"},
+		Classes:    []string{"Aerial"},
+		GOMAXPROCS: []int{2, 1}, // deliberately unsorted
+	}
+	before := runtime.GOMAXPROCS(0)
+	rep := experiments.RunGrid(cfg, experiments.GridMeta{GitRev: "deadbeef"})
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS leaked: %d -> %d", before, after)
+	}
+	if rep.Tag != "test-grid" || rep.GitRev != "deadbeef" || rep.NumCPU != runtime.NumCPU() ||
+		rep.GOOS != runtime.GOOS || rep.GoVersion != runtime.Version() {
+		t.Fatalf("report metadata = %+v", rep)
+	}
+	// BREMSP is sequential (one row, threads 0); PBREMSP sweeps [1, 2].
+	want := []string{"BREMSP/Aerial", "PBREMSP/Aerial@1", "PBREMSP/Aerial@2"}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rep.Results), len(want), rep.Results)
+	}
+	for i, r := range rep.Results {
+		key := experiments.ConfigKey{Algorithm: r.Algorithm, Class: r.Class, Threads: r.Threads}
+		if key.String() != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, key, want[i])
+		}
+		if len(r.SampleNs) != cfg.Repeats {
+			t.Fatalf("row %s has %d samples, want %d", key, len(r.SampleNs), cfg.Repeats)
+		}
+		if r.NsPerOp <= 0 || r.Pixels <= 0 {
+			t.Fatalf("row %s has empty measurement: %+v", key, r)
+		}
+		// NsPerOp is the median repeat: it must be one of the samples.
+		found := false
+		for _, s := range r.SampleNs {
+			if s == r.NsPerOp {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("row %s NsPerOp %d not among samples %v", key, r.NsPerOp, r.SampleNs)
+		}
+	}
+}
+
+func TestRunGridMetaTagOverride(t *testing.T) {
+	cfg := &experiments.GridConfig{
+		Tag: "config-tag", Scale: 0.001, Repeats: 1,
+		Algorithms: []string{"CCLRemSP"}, Classes: []string{"Misc"},
+	}
+	rep := experiments.RunGrid(cfg, experiments.GridMeta{Tag: "cli-tag"})
+	if rep.Tag != "cli-tag" {
+		t.Fatalf("tag = %q, want cli-tag", rep.Tag)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Threads != 0 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+}
+
+// TestRunGridDefaultAxes pins the defaulting rules: empty algorithm/class
+// selections mean "all", an empty thread axis means the single
+// library-default point.
+func TestRunGridDefaultAxes(t *testing.T) {
+	cfg := &experiments.GridConfig{Scale: 0.001, Repeats: 1}
+	rep := experiments.RunGrid(cfg, experiments.GridMeta{})
+	wantRows := len(experiments.GridAlgs) * len(experiments.ClassOrder)
+	if len(rep.Results) != wantRows {
+		t.Fatalf("got %d rows, want %d (all algorithms x all classes, one thread point)", len(rep.Results), wantRows)
+	}
+	for _, r := range rep.Results {
+		if r.Threads != 0 {
+			t.Fatalf("default axis produced pinned row %+v", r)
+		}
+	}
+}

@@ -116,10 +116,12 @@ func NewEngine(cfg Config) *Engine {
 		run:        paremsp.LabelInto,
 		runBM:      paremsp.LabelBitmapInto,
 	}
-	e.imgPool.New = func() any { return &paremsp.Image{} }
-	e.bmPool.New = func() any { return &paremsp.Bitmap{} }
-	e.lmPool.New = func() any { return &paremsp.LabelMap{} }
-	e.scPool.New = func() any { return &paremsp.Scratch{} }
+	// Pool miss accounting lives in the New closures: a pool Get that finds
+	// nothing to reuse is exactly one New call, so gets − misses = hits.
+	e.imgPool.New = func() any { e.metrics.poolMisses[poolImage].Add(1); return &paremsp.Image{} }
+	e.bmPool.New = func() any { e.metrics.poolMisses[poolBitmap].Add(1); return &paremsp.Bitmap{} }
+	e.lmPool.New = func() any { e.metrics.poolMisses[poolLabelMap].Add(1); return &paremsp.LabelMap{} }
+	e.scPool.New = func() any { e.metrics.poolMisses[poolScratch].Add(1); return &paremsp.Scratch{} }
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
@@ -136,7 +138,10 @@ func (e *Engine) QueueDepth() int { return e.queueDepth }
 // GetImage borrows a binary image from the raster pool; decode into it with
 // the DecodeInto helpers and hand it to Label, which consumes it. If the
 // image never reaches Label (e.g. decoding failed), return it with PutImage.
-func (e *Engine) GetImage() *paremsp.Image { return e.imgPool.Get().(*paremsp.Image) }
+func (e *Engine) GetImage() *paremsp.Image {
+	e.metrics.poolGets[poolImage].Add(1)
+	return e.imgPool.Get().(*paremsp.Image)
+}
 
 // PutImage returns a borrowed image to the raster pool.
 func (e *Engine) PutImage(img *paremsp.Image) {
@@ -149,7 +154,10 @@ func (e *Engine) PutImage(img *paremsp.Image) {
 // into it with pnm.DecodePBMBitmapInto and hand it to LabelBitmap, which
 // consumes it. If the bitmap never reaches LabelBitmap (e.g. decoding
 // failed), return it with PutBitmap.
-func (e *Engine) GetBitmap() *paremsp.Bitmap { return e.bmPool.Get().(*paremsp.Bitmap) }
+func (e *Engine) GetBitmap() *paremsp.Bitmap {
+	e.metrics.poolGets[poolBitmap].Add(1)
+	return e.bmPool.Get().(*paremsp.Bitmap)
+}
 
 // PutBitmap returns a borrowed bitmap to the bitmap pool.
 func (e *Engine) PutBitmap(bm *paremsp.Bitmap) {
@@ -421,8 +429,10 @@ func (e *Engine) worker() {
 			// Stream durations are dominated by how fast the client's
 			// source delivers bands, not by compute, so they stay out of
 			// the jobNs mean that RetryAfter is derived from (and out of
-			// the service-time histogram, for the same reason).
+			// the service-time histogram, for the same reason). They do
+			// count as busy time: the worker is occupied either way.
 			bres, err := j.stream()
+			e.metrics.busyNs.Add(time.Since(start).Nanoseconds())
 			e.metrics.inFlight.Add(-1)
 			if err != nil {
 				e.metrics.errors.Add(1)
@@ -435,7 +445,9 @@ func (e *Engine) worker() {
 			j.done <- jobResult{bres: bres, wait: wait}
 			continue
 		}
+		e.metrics.poolGets[poolLabelMap].Add(1)
 		lm := e.lmPool.Get().(*paremsp.LabelMap)
+		e.metrics.poolGets[poolScratch].Add(1)
 		sc := e.scPool.Get().(*paremsp.Scratch)
 		var (
 			npix int
@@ -451,6 +463,8 @@ func (e *Engine) worker() {
 		}
 		e.scPool.Put(sc)
 		e.reclaimInput(j)
+		elapsed := time.Since(start).Nanoseconds()
+		e.metrics.busyNs.Add(elapsed)
 		e.metrics.inFlight.Add(-1)
 		if err != nil {
 			e.lmPool.Put(lm)
@@ -458,7 +472,6 @@ func (e *Engine) worker() {
 			j.done <- jobResult{err: err, wait: wait}
 			continue
 		}
-		elapsed := time.Since(start).Nanoseconds()
 		e.metrics.completed.Add(1)
 		e.metrics.jobNs.Add(elapsed)
 		e.metrics.jobsTimed.Add(1)

@@ -107,6 +107,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	h.engine.Snapshot().WriteTo(w)
 	h.engine.writeHistograms(w)
 	h.obs.writeRequestHists(w)
+	writeRuntimeMetrics(w)
 	if h.jobs != nil {
 		writeJobsMetrics(w, h.jobs.Counts())
 	}

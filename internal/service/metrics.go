@@ -21,6 +21,19 @@ const (
 // ccserve_phase_duration_ns.
 var phaseNames = [phaseCount]string{"scan", "merge", "flatten", "relabel"}
 
+// Pool indices for the per-pool hit/miss counters.
+const (
+	poolImage = iota
+	poolBitmap
+	poolLabelMap
+	poolScratch
+	poolCount
+)
+
+// poolNames maps pool indices to the `pool` label values on
+// ccserve_pool_get_total / ccserve_pool_miss_total.
+var poolNames = [poolCount]string{"image", "bitmap", "labelmap", "scratch"}
+
 // metrics is the engine's live counter set. Everything is atomic so the hot
 // path never takes a lock to account a request; the histograms are atomic
 // log₂-bucket arrays (see hist), so distribution tracking is equally
@@ -40,10 +53,23 @@ type metrics struct {
 	relabelNs  atomic.Int64 // cumulative PhaseTimes.Relabel
 	jobNs      atomic.Int64 // cumulative wall time of completed raster jobs (RetryAfter's mean)
 	jobsTimed  atomic.Int64 // completions accounted in jobNs (stream jobs excluded)
+	busyNs     atomic.Int64 // cumulative wall time workers spent on jobs, every kind and outcome
+
+	poolGets   [poolCount]atomic.Int64 // sync.Pool Gets per pool
+	poolMisses [poolCount]atomic.Int64 // Gets that had to allocate (pool New calls)
 
 	queueWaitHist hist             // enqueue → worker-dequeue wait, all jobs
 	jobHist       hist             // worker service time, raster jobs
 	phaseHist     [phaseCount]hist // per-phase durations, raster jobs
+}
+
+// PoolSnapshot is the reuse census of one of the engine's rasters/scratch
+// sync.Pools: Gets is every borrow, Misses the borrows that had to allocate,
+// so Gets − Misses is the hit count (GC-emptied pools show up as misses).
+type PoolSnapshot struct {
+	Name   string `json:"name"`
+	Gets   int64  `json:"gets"`
+	Misses int64  `json:"misses"`
 }
 
 // Snapshot is a point-in-time copy of the engine's counters, plus
@@ -68,11 +94,22 @@ type Snapshot struct {
 	JobP50Ns   int64 `json:"job_latency_p50_ns"`
 	JobP95Ns   int64 `json:"job_latency_p95_ns"`
 	JobP99Ns   int64 `json:"job_latency_p99_ns"`
+
+	BusyNs int64                   `json:"worker_busy_ns"`
+	Pools  [poolCount]PoolSnapshot `json:"pools"`
 }
 
 // Snapshot copies the current counters. QueueDepth is the number of requests
 // waiting in the queue at the instant of the call.
 func (e *Engine) Snapshot() Snapshot {
+	var pools [poolCount]PoolSnapshot
+	for i := range pools {
+		pools[i] = PoolSnapshot{
+			Name:   poolNames[i],
+			Gets:   e.metrics.poolGets[i].Load(),
+			Misses: e.metrics.poolMisses[i].Load(),
+		}
+	}
 	return Snapshot{
 		Requests:   e.metrics.requests.Load(),
 		Completed:  e.metrics.completed.Load(),
@@ -92,6 +129,8 @@ func (e *Engine) Snapshot() Snapshot {
 		JobP50Ns:   e.metrics.jobHist.quantile(0.50),
 		JobP95Ns:   e.metrics.jobHist.quantile(0.95),
 		JobP99Ns:   e.metrics.jobHist.quantile(0.99),
+		BusyNs:     e.metrics.busyNs.Load(),
+		Pools:      pools,
 	}
 }
 
@@ -135,9 +174,35 @@ func writeProm(w io.Writer, ms []promMetric) (int64, error) {
 	return total, nil
 }
 
+// promSeries is one labeled sample of a labeled metric family.
+type promSeries struct {
+	labels string // rendered label list without braces, e.g. `pool="image"`
+	v      int64
+}
+
+// writePromLabeled renders one labeled counter/gauge family: HELP and TYPE
+// once, then one sample line per series.
+func writePromLabeled(w io.Writer, kind, name, help string, series []promSeries) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w, "# HELP ccserve_%s %s\n# TYPE ccserve_%s %s\n", name, help, name, kind)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, s := range series {
+		n, err := fmt.Fprintf(w, "ccserve_%s{%s} %d\n", name, s.labels, s.v)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // WriteTo renders the snapshot in the Prometheus text exposition format.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
-	return writeProm(w, []promMetric{
+	var total int64
+	n, err := writeProm(w, []promMetric{
 		{"counter", "requests_total", "Labeling requests received, admitted or not.", s.Requests},
 		{"counter", "completed_total", "Labelings that completed successfully.", s.Completed},
 		{"counter", "rejected_total", "Requests shed by queue backpressure or engine shutdown.", s.Rejected},
@@ -156,7 +221,30 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"gauge", "job_latency_p50_ns", "Approximate median raster service time (log2-bucket upper bound).", s.JobP50Ns},
 		{"gauge", "job_latency_p95_ns", "Approximate 95th-percentile raster service time (log2-bucket upper bound).", s.JobP95Ns},
 		{"gauge", "job_latency_p99_ns", "Approximate 99th-percentile raster service time (log2-bucket upper bound).", s.JobP99Ns},
+		{"counter", "worker_busy_ns_total", "Cumulative wall time workers spent executing jobs (every kind and outcome); divide the rate by ccserve_workers for pool utilization.", s.BusyNs},
+		{"gauge", "workers_busy", "Workers executing a job right now.", s.InFlight},
 	})
+	total += n
+	if err != nil {
+		return total, err
+	}
+	gets := make([]promSeries, 0, poolCount)
+	misses := make([]promSeries, 0, poolCount)
+	for _, p := range s.Pools {
+		label := `pool="` + p.Name + `"`
+		gets = append(gets, promSeries{labels: label, v: p.Gets})
+		misses = append(misses, promSeries{labels: label, v: p.Misses})
+	}
+	n, err = writePromLabeled(w, "counter", "pool_get_total",
+		"Borrows from the engine's raster/labelmap/scratch sync.Pools.", gets)
+	total += n
+	if err != nil {
+		return total, err
+	}
+	n, err = writePromLabeled(w, "counter", "pool_miss_total",
+		"Pool borrows that had to allocate (gets minus misses = reuse hits).", misses)
+	total += n
+	return total, err
 }
 
 // writeJobsMetrics renders the job store's census — per-state gauges plus

@@ -185,6 +185,10 @@ func TestPromExpositionValid(t *testing.T) {
 		"ccserve_http_request_duration_ns", "ccserve_queue_wait_ns",
 		"ccserve_job_service_ns", "ccserve_phase_duration_ns",
 		"ccserve_job_latency_p50_ns", "ccserve_jobs_submitted_total",
+		"ccserve_pool_get_total", "ccserve_pool_miss_total",
+		"ccserve_worker_busy_ns_total", "ccserve_workers_busy",
+		"ccserve_go_goroutines", "ccserve_go_heap_objects_bytes",
+		"ccserve_go_gc_pause_seconds",
 	} {
 		if !strings.Contains(text, "# TYPE "+family+" ") {
 			t.Fatalf("missing family %s in exposition:\n%s", family, text)
@@ -192,6 +196,20 @@ func TestPromExpositionValid(t *testing.T) {
 	}
 	if !regexp.MustCompile(`ccserve_http_request_duration_ns_bucket\{endpoint="label",le="\+Inf"\} [1-9]`).MatchString(text) {
 		t.Fatalf("label endpoint histogram recorded no requests:\n%s", text)
+	}
+	// The raster traffic above borrowed from the image, labelmap and scratch
+	// pools; their get counters must be live (the bitmap pool stays 0 — no
+	// bit-packed requests were sent).
+	for _, pool := range []string{"image", "labelmap", "scratch"} {
+		if !regexp.MustCompile(`ccserve_pool_get_total\{pool="` + pool + `"\} [1-9]`).MatchString(text) {
+			t.Fatalf("pool %s recorded no gets:\n%s", pool, text)
+		}
+	}
+	if !regexp.MustCompile(`ccserve_worker_busy_ns_total [1-9]`).MatchString(text) {
+		t.Fatalf("worker busy time not recorded:\n%s", text)
+	}
+	if !regexp.MustCompile(`ccserve_go_goroutines [1-9]`).MatchString(text) {
+		t.Fatalf("goroutine gauge missing or zero:\n%s", text)
 	}
 
 	help := map[string]bool{}

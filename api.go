@@ -1,6 +1,7 @@
 package paremsp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -183,6 +184,18 @@ type Scratch = core.Scratch
 // for the baseline algorithms the labeling still allocates internally and
 // the result is copied into dst.
 func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
+	return LabelIntoCtx(context.Background(), img, dst, sc, opt)
+}
+
+// LabelIntoCtx is LabelInto with cooperative cancellation: the paper
+// algorithms and their bit-packed variants (AlgPAREMSP, AlgAREMSP,
+// AlgCCLREMSP, AlgBREMSP, AlgPBREMSP) poll ctx per row block during their
+// scan and relabel passes and abort with ctx.Err(); the check is
+// allocation-free and costs one predicted branch per row when ctx can never
+// be canceled. The baseline algorithms are not cancelable mid-run — ctx is
+// only checked before they start. A canceled labeling leaves dst and sc in
+// an undefined but reusable state.
+func LabelIntoCtx(ctx context.Context, img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
 	if img == nil {
 		return nil, fmt.Errorf("paremsp: nil image")
 	}
@@ -205,9 +218,16 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 		}
 	}
 
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+
 	var (
-		lm *LabelMap
-		n  int
+		lm  *LabelMap
+		n   int
+		err error
 	)
 	res := &Result{}
 	switch alg {
@@ -224,26 +244,26 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 			dst = &LabelMap{}
 		}
 		var times core.PhaseTimes
-		n, times = core.PAREMSPTimedInto(img, dst, sc, copt)
+		n, times, err = core.PAREMSPTimedIntoCtx(ctx, img, dst, sc, copt)
 		lm = dst
 		res.Phases = times
 	case AlgAREMSP:
 		if dst == nil {
 			dst = &LabelMap{}
 		}
-		n = core.AREMSPInto(img, dst, sc)
+		n, err = core.AREMSPIntoCtx(ctx, img, dst, sc)
 		lm = dst
 	case AlgCCLREMSP:
 		if dst == nil {
 			dst = &LabelMap{}
 		}
-		n = core.CCLREMSPInto(img, dst, sc)
+		n, err = core.CCLREMSPIntoCtx(ctx, img, dst, sc)
 		lm = dst
 	case AlgBREMSP:
 		if dst == nil {
 			dst = &LabelMap{}
 		}
-		n = core.BREMSPInto(img, dst, sc)
+		n, err = core.BREMSPIntoCtx(ctx, img, dst, sc)
 		lm = dst
 	case AlgPBREMSP:
 		copt := core.Options{Threads: opt.Threads}
@@ -254,7 +274,7 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 			dst = &LabelMap{}
 		}
 		var times core.PhaseTimes
-		n, times = core.PBREMSPTimedInto(img, dst, sc, copt)
+		n, times, err = core.PBREMSPTimedIntoCtx(ctx, img, dst, sc, copt)
 		lm = dst
 		res.Phases = times
 	case AlgCCLLRPC:
@@ -277,6 +297,9 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 		lm, n = baseline.FloodFill(img, baseline.Connectivity(conn))
 	default:
 		return nil, fmt.Errorf("paremsp: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if dst != nil && lm != dst {
 		// A baseline labeled into its own fresh map; honor the dst contract.
@@ -306,6 +329,12 @@ func LabelBitmap(bm *Bitmap, opt Options) (*Result, error) {
 // AlgPBREMSP), and connectivity must be 8. For any other algorithm, unpack
 // with Bitmap.ToImage and call LabelInto.
 func LabelBitmapInto(bm *Bitmap, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
+	return LabelBitmapIntoCtx(context.Background(), bm, dst, sc, opt)
+}
+
+// LabelBitmapIntoCtx is LabelBitmapInto with cooperative cancellation (see
+// LabelIntoCtx; both bit-packed algorithms poll ctx per row block).
+func LabelBitmapIntoCtx(ctx context.Context, bm *Bitmap, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
 	if bm == nil {
 		return nil, fmt.Errorf("paremsp: nil bitmap")
 	}
@@ -320,20 +349,24 @@ func LabelBitmapInto(bm *Bitmap, dst *LabelMap, sc *Scratch, opt Options) (*Resu
 		dst = &LabelMap{}
 	}
 	res := &Result{Labels: dst}
+	var err error
 	switch alg {
 	case AlgBREMSP:
-		res.NumComponents = core.BREMSPBitmapInto(bm, dst, sc)
+		res.NumComponents, err = core.BREMSPBitmapIntoCtx(ctx, bm, dst, sc)
 	case AlgPBREMSP:
 		copt := core.Options{Threads: opt.Threads}
 		if opt.UseCASMerger {
 			copt.Merger = core.MergerCAS
 		}
 		var times core.PhaseTimes
-		res.NumComponents, times = core.PBREMSPBitmapTimedInto(bm, dst, sc, copt)
+		res.NumComponents, times, err = core.PBREMSPBitmapTimedIntoCtx(ctx, bm, dst, sc, copt)
 		res.Phases = times
 	default:
 		return nil, fmt.Errorf("paremsp: algorithm %q cannot label a packed bitmap (want %q or %q)",
 			alg, AlgBREMSP, AlgPBREMSP)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -380,15 +413,18 @@ func LabelStream(r io.Reader, opt StreamOptions) (*StreamResult, error) {
 // JobState is the lifecycle state of an asynchronous labeling job in the
 // HTTP service's job API: a job is created JobQueued, moves to JobRunning
 // when a pool worker picks it up, and finishes JobDone (result retained
-// until its TTL lapses) or JobFailed.
+// until its TTL lapses), JobFailed, or JobCanceled (the job's context was
+// canceled — client timeout, server drain, or -job-timeout — before it
+// completed).
 type JobState = jobs.State
 
 // Job lifecycle states.
 const (
-	JobQueued  JobState = jobs.StateQueued
-	JobRunning JobState = jobs.StateRunning
-	JobDone    JobState = jobs.StateDone
-	JobFailed  JobState = jobs.StateFailed
+	JobQueued   JobState = jobs.StateQueued
+	JobRunning  JobState = jobs.StateRunning
+	JobDone     JobState = jobs.StateDone
+	JobFailed   JobState = jobs.StateFailed
+	JobCanceled JobState = jobs.StateCanceled
 )
 
 // JobKind selects what an asynchronous job computes: a full labeling

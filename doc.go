@@ -114,7 +114,8 @@
 // -jobs=false disables) decouples submission from retrieval. POST /v1/jobs
 // accepts one image or a multipart/form-data batch and answers 202 with one
 // job per image; jobs run in the background on the same engine pool and are
-// observable as queued → running → done/failed via GET /v1/jobs/{id}, with
+// observable as queued → running → done/failed/canceled via GET
+// /v1/jobs/{id}, with
 // results fetched from GET /v1/jobs/{id}/result (the /v1/label formats for
 // kind=labels, JSON statistics for kind=stats) and released early with
 // DELETE /v1/jobs/{id}.
@@ -130,6 +131,33 @@
 // additionally capped (-job-max-bytes, default 512 MiB) with oldest-first
 // overflow eviction. The JobState and JobKind types name the wire states
 // and kinds.
+//
+// # Operational guarantees
+//
+// The service's request lifecycle is fault-tolerant end to end. Every
+// algorithm has a context-aware entry point (LabelIntoCtx, LabelBitmapIntoCtx,
+// StreamOptions.Ctx) that polls ctx.Done() once per 64-row block, cheap
+// enough for the hot loops (the perf gate runs with the checks compiled in)
+// and frequent enough to stop a canceled labeling within a few row-scans; a
+// canceled call leaves its LabelMap/Scratch reusable, so pooled buffers
+// survive cancellation. ccserve -request-timeout bounds synchronous requests
+// (504 on expiry) and -job-timeout bounds async jobs (terminal state
+// canceled, retryable on resubmission); both default to unbounded.
+//
+// A panic inside a labeling is contained by the worker's recover: the
+// request fails (500) or the job fails, the stack goes to the structured
+// log, ccserve_worker_panics_total counts it, the worker survives, and the
+// buffers the panicking job was mutating are quarantined rather than
+// returned to the pools. On SIGTERM/SIGINT ccserve drains: admission flips
+// to 503 with Retry-After, /healthz reports 503 draining, queued jobs are
+// canceled, running jobs get up to -drain-timeout (default 15s) before
+// being force-canceled through their contexts, a drain summary is logged,
+// and the process exits 0.
+//
+// internal/faultinject provides the failpoints (decode-error, worker-stall,
+// worker-panic, encode-slow, queue-full; one atomic load when disarmed)
+// behind the chaos suite in internal/service and the CCSERVE_FAULTS
+// environment variable for manual drills.
 //
 // # Reproducing the paper
 //

@@ -39,6 +39,7 @@
 package band
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -83,6 +84,10 @@ type Options struct {
 	// stream completes. cmd/ccstream spills rows this way to produce a
 	// CCL1 label stream in two sequential passes.
 	EmitRow func(y int, runs []binimg.Run, resolve func(Label) Label) error
+	// Ctx, when non-nil, cancels the stream cooperatively: Stream checks it
+	// between bands (the natural row-block granularity of this package) and
+	// returns its error once it is done. nil never cancels.
+	Ctx context.Context
 }
 
 // ComponentStats is the per-component result of a streamed labeling: the
@@ -139,9 +144,20 @@ func Stream(src Source, opt Options) (*Result, error) {
 		bandRows = h
 	}
 	l := newLabeler(w, bandRows)
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 	var bm binimg.Bitmap
 	y := 0
 	for y < h {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, opt.Ctx.Err()
+			default:
+			}
+		}
 		n, err := src.ReadBand(&bm, bandRows)
 		if n > 0 {
 			if bm.Width != w || bm.Height != n || n > bandRows {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/binimg"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/pnm"
 	"repro/internal/service"
@@ -266,7 +267,11 @@ func CCStream(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccstream:", err)
 		return 1
 	}
-	res, err := stream.LabelBands(src, spill, outF, *bandRows)
+	// Ctrl-C / SIGTERM cancels the labeling at the next band boundary
+	// instead of leaving a partial output file behind silently.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := stream.LabelBands(ctx, src, spill, outF, *bandRows)
 	if err != nil {
 		fmt.Fprintln(stderr, "ccstream:", err)
 		return 1
@@ -339,8 +344,11 @@ func jobEventLogger(logger *slog.Logger) func(jobs.Event) {
 }
 
 // CCServe implements the ccserve command: run the HTTP labeling service on a
-// bounded worker pool until SIGINT/SIGTERM, then shut down gracefully
-// (in-flight requests finish, the queue drains, and the listener closes).
+// bounded worker pool until SIGINT/SIGTERM, then drain gracefully — admission
+// flips to 503 (with /healthz reporting "draining" so load balancers rotate
+// the instance out), queued-but-unstarted jobs are canceled, running jobs get
+// up to -drain-timeout to finish, and stragglers are force-canceled at their
+// next poll point before the listener closes.
 func CCServe(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ccserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -355,6 +363,9 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "retain finished job results this long before eviction")
 	jobShards := fs.Int("job-shards", 0, "job store shard count (0 = 16)")
 	jobMaxBytes := fs.Int64("job-max-bytes", 0, "cap on retained job-result bytes; oldest results evicted beyond it (0 = 512 MiB)")
+	reqTimeout := fs.Duration("request-timeout", 0, "cancel a synchronous labeling and answer 504 after this long (0 = no server-side timeout)")
+	jobTimeoutFlag := fs.Duration("job-timeout", 0, "cancel an async job that has not reached a terminal state after this long (0 = no timeout)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "on SIGTERM/SIGINT, wait this long for running jobs before force-canceling them")
 	logLevel := fs.String("log-level", "info", "structured-log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "structured-log format on stderr: text or json")
 	debugAddr := fs.String("debug-addr", "", "optional operator listener serving /debug/pprof/ and /debug/requests (keep off the public network; empty = disabled)")
@@ -390,10 +401,25 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccserve: -job-max-bytes must be >= 0")
 		return 2
 	}
+	if *reqTimeout < 0 || *jobTimeoutFlag < 0 {
+		fmt.Fprintln(stderr, "ccserve: -request-timeout and -job-timeout must be >= 0")
+		return 2
+	}
+	if *drainTimeout <= 0 {
+		fmt.Fprintln(stderr, "ccserve: -drain-timeout must be positive")
+		return 2
+	}
 	logger, err := newServeLogger(stderr, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(stderr, "ccserve:", err)
 		return 2
+	}
+	if env := os.Getenv("CCSERVE_FAULTS"); env != "" {
+		if err := faultinject.ArmFromEnv(env); err != nil {
+			fmt.Fprintln(stderr, "ccserve:", err)
+			return 2
+		}
+		logger.Warn("fault injection armed (chaos mode; not for production)", "faults", env)
 	}
 
 	var store *jobs.Store
@@ -406,16 +432,31 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		})
 		defer store.Close()
 	}
-	eng := service.NewEngine(service.Config{Workers: *workers, QueueDepth: *queue, Threads: *threads})
+	eng := service.NewEngine(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Threads:    *threads,
+		OnPanic: func(v any, stack []byte) {
+			logger.Error("worker panic contained", "panic", fmt.Sprint(v), "stack", string(stack))
+		},
+	})
 	obs := service.NewObs(logger, 0)
+	// baseCtx parents every async job: canceling it at drain time stops
+	// queued and straggling jobs at their next poll point.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	handler := service.NewHandler(eng, service.HandlerConfig{
+		MaxImageBytes:    *maxBytes,
+		Level:            *level,
+		DefaultAlgorithm: paremsp.Algorithm(*alg),
+		Jobs:             store,
+		Obs:              obs,
+		RequestTimeout:   *reqTimeout,
+		JobTimeout:       *jobTimeoutFlag,
+		BaseContext:      baseCtx,
+	})
 	srv := &http.Server{
-		Handler: service.NewHandler(eng, service.HandlerConfig{
-			MaxImageBytes:    *maxBytes,
-			Level:            *level,
-			DefaultAlgorithm: paremsp.Algorithm(*alg),
-			Jobs:             store,
-			Obs:              obs,
-		}),
+		Handler: handler,
 		// Streaming endpoints (/v1/stats) read the body on a pool worker, so
 		// a stalled client holds labeling capacity; bound at least the header
 		// phase. Body-read time is bounded by -max-bytes plus the deployment's
@@ -466,6 +507,9 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		slog.Float64("level", *level),
 		slog.String("alg", cmp.Or(*alg, string(paremsp.AlgPAREMSP))),
 		slog.Bool("jobs", store != nil),
+		slog.Duration("request_timeout", *reqTimeout),
+		slog.Duration("job_timeout", *jobTimeoutFlag),
+		slog.Duration("drain_timeout", *drainTimeout),
 	}
 	if store != nil {
 		startAttrs = append(startAttrs,
@@ -486,8 +530,21 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintln(stdout, "ccserve: shutting down")
-	logger.Info("shutting down", "reason", "signal", "timeout", 15*time.Second)
+	fmt.Fprintln(stdout, "ccserve: shutting down (draining)")
+	logger.Info("shutting down", "reason", "signal", "drain_timeout", *drainTimeout)
+	drainStart := time.Now()
+	// Drain order: admission off first (the listener keeps answering, with
+	// 503 + Retry-After and /healthz reporting "draining", so load balancers
+	// rotate the instance out before the port vanishes), then give running
+	// jobs -drain-timeout to finish while queued-but-unstarted ones are
+	// rejected, then force-cancel stragglers via the jobs' base context, and
+	// only then close the listener.
+	handler.StartDrain()
+	drained := eng.Drain(*drainTimeout)
+	if !drained {
+		logger.Warn("drain timeout lapsed; force-canceling running jobs", "timeout", *drainTimeout)
+	}
+	baseCancel()
 	sdCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	code := 0
@@ -500,7 +557,15 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		debugSrv.Shutdown(sdCtx)
 	}
 	eng.Close()
-	logger.Info("stopped", "requests", eng.Snapshot().Requests)
+	snap := eng.Snapshot()
+	logger.Info("drain complete",
+		"graceful", drained,
+		"drain_ns", time.Since(drainStart).Nanoseconds(),
+		"requests", snap.Requests,
+		"completed", snap.Completed,
+		"canceled", snap.Canceled,
+		"worker_panics", snap.Panics)
+	fmt.Fprintln(stdout, "ccserve: stopped")
 	return code
 }
 

@@ -10,8 +10,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/binimg"
@@ -32,31 +34,49 @@ func BREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
 // with Reset) and drawing the bitmap, run and equivalence buffers from sc
 // (nil allocates fresh ones). Returns the component count.
 func BREMSPInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) int {
+	n, _ := BREMSPIntoCtx(context.Background(), img, lm, sc)
+	return n
+}
+
+// BREMSPIntoCtx is BREMSPInto with cooperative cancellation (the packing pass
+// runs at memcpy speed and is not polled; the scan and relabel passes are).
+func BREMSPIntoCtx(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) (int, error) {
 	if sc == nil {
 		sc = &Scratch{}
 	}
 	bm := sc.bitmap()
 	bm.FromImage(img)
-	return BREMSPBitmapInto(bm, lm, sc)
+	return BREMSPBitmapIntoCtx(ctx, bm, lm, sc)
 }
 
 // BREMSPBitmapInto is BREMSP over an already-packed bitmap — the entry point
 // for callers that hold the packed raster natively (the service's PBM P4 fast
 // path decodes straight into one, skipping the byte raster entirely).
 func BREMSPBitmapInto(bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch) int {
+	n, _ := BREMSPBitmapIntoCtx(context.Background(), bm, lm, sc)
+	return n
+}
+
+// BREMSPBitmapIntoCtx is BREMSPBitmapInto with cooperative cancellation.
+func BREMSPBitmapIntoCtx(ctx context.Context, bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch) (int, error) {
 	if sc == nil {
 		sc = &Scratch{}
 	}
 	lm.Reset(bm.Width, bm.Height)
 	if bm.Width == 0 || bm.Height == 0 {
-		return 0
+		return 0, nil
 	}
+	done := ctxDone(ctx)
 	sink := &RemSink{p: sc.parents(scan.MaxRunLabels(bm.Width, bm.Height))}
 	rs := sc.runSets(1)[0]
-	scan.Runs(bm, sink, 0, bm.Height, rs)
+	if !scan.RunsUntil(bm, sink, 0, bm.Height, rs, done) {
+		return 0, cancelErr(ctx)
+	}
 	n := unionfind.Flatten(sink.p, sink.count)
-	relabelRuns(lm, sink.p, rs)
-	return int(n)
+	if !relabelRunsUntil(lm, sink.p, rs, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
 }
 
 // PBREMSP labels img with the parallel bit-packed algorithm and default
@@ -81,20 +101,36 @@ func PBREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseT
 // before scanning them, so the packing cost parallelizes with the scan and is
 // reported inside the Scan phase.
 func PBREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+	n, times, _ := PBREMSPTimedIntoCtx(context.Background(), img, lm, sc, opt)
+	return n, times
+}
+
+// PBREMSPTimedIntoCtx is PBREMSPTimedInto with cooperative cancellation: the
+// chunked scans and relabels poll ctx per row block and the driver checks ctx
+// between phases. A canceled run returns ctx's error with the phase times
+// accumulated so far.
+func PBREMSPTimedIntoCtx(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes, error) {
 	if sc == nil {
 		sc = &Scratch{}
 	}
 	bm := sc.bitmap()
 	bm.Reset(img.Width, img.Height)
-	return pbremsp(bm, img, lm, sc, opt)
+	return pbremsp(ctx, bm, img, lm, sc, opt)
 }
 
 // PBREMSPBitmapTimedInto is PBREMSPTimedInto over an already-packed bitmap.
 func PBREMSPBitmapTimedInto(bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+	n, times, _ := PBREMSPBitmapTimedIntoCtx(context.Background(), bm, lm, sc, opt)
+	return n, times
+}
+
+// PBREMSPBitmapTimedIntoCtx is PBREMSPBitmapTimedInto with cooperative
+// cancellation.
+func PBREMSPBitmapTimedIntoCtx(ctx context.Context, bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes, error) {
 	if sc == nil {
 		sc = &Scratch{}
 	}
-	return pbremsp(bm, nil, lm, sc, opt)
+	return pbremsp(ctx, bm, nil, lm, sc, opt)
 }
 
 // pbremsp is the shared parallel driver. When src is non-nil each chunk packs
@@ -109,7 +145,7 @@ func PBREMSPBitmapTimedInto(bm *binimg.Bitmap, lm *binimg.LabelMap, sc *Scratch,
 // with the overlapping last-row runs of the chunk above using the concurrent
 // MERGER. Phase III runs the sparse FLATTEN; phase IV writes the final label
 // map run-by-run.
-func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+func pbremsp(ctx context.Context, bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes, error) {
 	threads := opt.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -117,7 +153,7 @@ func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scra
 	w, h := bm.Width, bm.Height
 	lm.Reset(w, h)
 	if w == 0 || h == 0 {
-		return 0, PhaseTimes{}
+		return 0, PhaseTimes{}, nil
 	}
 	if threads > h {
 		threads = h
@@ -129,7 +165,9 @@ func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scra
 	p := sc.parents(int(maxLabel))
 	runSets := sc.runSets(threads)
 
+	done := ctxDone(ctx)
 	var times PhaseTimes
+	var stop atomic.Bool
 
 	// Phase I: concurrent chunk packs + run scans.
 	t0 := time.Now()
@@ -144,11 +182,16 @@ func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scra
 				bm.FromImageRows(src, rowStart, rowEnd)
 			}
 			sink := NewRemSinkShared(p, Label(rowStart)*stride)
-			scan.Runs(bm, sink, rowStart, rowEnd, rs)
+			if !scan.RunsUntil(bm, sink, rowStart, rowEnd, rs, done) {
+				stop.Store(true)
+			}
 		}()
 	}
 	wg.Wait()
 	times.Scan = time.Since(t0)
+	if stop.Load() {
+		return 0, times, cancelErr(ctx)
+	}
 
 	// Phase II: run-granular boundary merges.
 	t0 = time.Now()
@@ -172,17 +215,26 @@ func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scra
 		wg.Wait()
 	}
 	times.Merge = time.Since(t0)
+	if stopped(done) {
+		return 0, times, cancelErr(ctx)
+	}
 
 	// Phase III: FLATTEN over the sparse label space.
 	t0 = time.Now()
 	n := unionfind.FlattenSparse(p, maxLabel)
 	times.Flatten = time.Since(t0)
+	if stopped(done) {
+		return 0, times, cancelErr(ctx)
+	}
 
 	// Phase IV: run-by-run relabel, one goroutine per chunk.
 	t0 = time.Now()
 	if opt.SequentialRelabel || threads == 1 {
 		for c := 0; c < threads; c++ {
-			relabelRuns(lm, p, runSets[c])
+			if !relabelRunsUntil(lm, p, runSets[c], done) {
+				stop.Store(true)
+				break
+			}
 		}
 	} else {
 		for c := 0; c < threads; c++ {
@@ -190,14 +242,19 @@ func pbremsp(bm *binimg.Bitmap, src *binimg.Image, lm *binimg.LabelMap, sc *Scra
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				relabelRuns(lm, p, rs)
+				if !relabelRunsUntil(lm, p, rs, done) {
+					stop.Store(true)
+				}
 			}()
 		}
 		wg.Wait()
 	}
 	times.Relabel = time.Since(t0)
+	if stop.Load() {
+		return 0, times, cancelErr(ctx)
+	}
 
-	return int(n), times
+	return int(n), times, nil
 }
 
 // rowChunkStarts splits h rows over threads chunks as evenly as possible

@@ -1,0 +1,166 @@
+// Cooperative cancellation entry points. Every *IntoCtx function is its
+// non-ctx counterpart with the long row loops — scan and relabel, which
+// together dominate the runtime — polling ctx's done channel every few dozen
+// rows and aborting with ctx.Err(). The polls are amortized per row block
+// (scan.DecisionTreeUntil and friends poll every 64 rows; the relabel helpers
+// below rewrite 64 rows between polls), are allocation-free, and cost one
+// predicted branch per row when ctx can never be canceled
+// (context.Background().Done() is nil), so the non-ctx entry points keep
+// their benchmarked performance — see BenchmarkCancelCheck.
+//
+// The flatten and boundary-merge phases are not polled internally: they touch
+// the equivalence table, not the raster, and are a small fraction of total
+// time. The parallel drivers check the context between phases instead.
+//
+// A canceled labeling leaves lm and sc in an undefined (but reusable — every
+// entry point Resets them) state; callers must discard the result.
+
+package core
+
+import (
+	"context"
+
+	"repro/internal/binimg"
+	"repro/internal/scan"
+	"repro/internal/unionfind"
+)
+
+// relabelPollRows matches the scan layer's poll amortization: 64 rows of
+// relabel work between done-channel polls.
+const relabelPollRows = 64
+
+// ctxDone returns ctx's done channel; nil (never cancels) for a nil ctx.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelErr returns ctx's error once its done channel closed, defaulting to
+// context.Canceled for the pathological case of a closed channel with no
+// recorded error.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// stopped reports whether done is closed without blocking; a nil done never
+// stops.
+func stopped(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// CCLREMSPIntoCtx is CCLREMSPInto with cooperative cancellation.
+func CCLREMSPIntoCtx(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) (int, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	lm.Reset(img.Width, img.Height)
+	done := ctxDone(ctx)
+	sink := &RemSink{p: sc.parents(scan.MaxProvisionalLabels(img.Width, img.Height))}
+	if !scan.DecisionTreeUntil(img, lm, sink, 0, img.Height, done) {
+		return 0, cancelErr(ctx)
+	}
+	n := unionfind.Flatten(sink.p, sink.count)
+	if !relabelSeqUntil(lm, sink.p, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// AREMSPIntoCtx is AREMSPInto with cooperative cancellation.
+func AREMSPIntoCtx(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) (int, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	lm.Reset(img.Width, img.Height)
+	done := ctxDone(ctx)
+	sink := &RemSink{p: sc.parents(scan.MaxProvisionalLabels(img.Width, img.Height))}
+	if !scan.PairRowsUntil(img, lm, sink, 0, img.Height, done) {
+		return 0, cancelErr(ctx)
+	}
+	n := unionfind.Flatten(sink.p, sink.count)
+	if !relabelSeqUntil(lm, sink.p, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// relabelSeqUntil is relabelSeq polling done every relabelPollRows rows;
+// reports whether it ran to completion.
+func relabelSeqUntil(lm *binimg.LabelMap, p []Label, done <-chan struct{}) bool {
+	if done == nil {
+		relabelSeq(lm, p)
+		return true
+	}
+	return relabelSliceUntil(lm.L, p, relabelBlock(lm.Width), done)
+}
+
+// relabelBlock converts the per-row poll budget into a flat element count,
+// with a floor so degenerate widths don't poll per handful of pixels.
+func relabelBlock(w int) int {
+	block := relabelPollRows * w
+	if block < 1<<12 {
+		block = 1 << 12
+	}
+	return block
+}
+
+// relabelSliceUntil rewrites provisional labels in part through p in blocks
+// of block elements, polling done between blocks; reports whether it ran to
+// completion.
+func relabelSliceUntil(part, p []Label, block int, done <-chan struct{}) bool {
+	for lo := 0; lo < len(part); lo += block {
+		if stopped(done) {
+			return false
+		}
+		hi := lo + block
+		if hi > len(part) {
+			hi = len(part)
+		}
+		seg := part[lo:hi]
+		for i, v := range seg {
+			if v != 0 {
+				seg[i] = p[v]
+			}
+		}
+	}
+	return true
+}
+
+// relabelRunsUntil is relabelRuns polling done every relabelPollRows rows;
+// reports whether it ran to completion.
+func relabelRunsUntil(lm *binimg.LabelMap, p []Label, rs *scan.RunSet, done <-chan struct{}) bool {
+	if done == nil {
+		relabelRuns(lm, p, rs)
+		return true
+	}
+	l := lm.L
+	w := lm.Width
+	for i, rows := 0, rs.Rows(); i < rows; i++ {
+		if i%relabelPollRows == 0 && stopped(done) {
+			return false
+		}
+		y := rs.Row0 + i
+		base := y * w
+		for _, r := range rs.RowRuns(y) {
+			final := p[r.Label]
+			seg := l[base+int(r.Start) : base+int(r.End)]
+			for k := range seg {
+				seg[k] = final
+			}
+		}
+	}
+	return true
+}

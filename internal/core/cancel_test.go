@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/binimg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// ctxAlgs enumerates every context-aware entry point under one signature.
+var ctxAlgs = []struct {
+	name string
+	run  func(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *core.Scratch) (int, error)
+}{
+	{"CCLREMSP", core.CCLREMSPIntoCtx},
+	{"AREMSP", core.AREMSPIntoCtx},
+	{"BREMSP", core.BREMSPIntoCtx},
+	{"PAREMSP", func(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *core.Scratch) (int, error) {
+		n, _, err := core.PAREMSPTimedIntoCtx(ctx, img, lm, sc, core.Options{Threads: 3})
+		return n, err
+	}},
+	{"PBREMSP", func(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *core.Scratch) (int, error) {
+		n, _, err := core.PBREMSPTimedIntoCtx(ctx, img, lm, sc, core.Options{Threads: 3})
+		return n, err
+	}},
+}
+
+// TestCtxBackgroundMatchesPlain: with a never-canceled context every Ctx
+// entry point must agree with its plain counterpart — the polling is
+// behavior-neutral when nothing fires.
+func TestCtxBackgroundMatchesPlain(t *testing.T) {
+	img := dataset.UniformNoise(257, 131, 0.5, 7)
+	for _, alg := range ctxAlgs {
+		t.Run(alg.name, func(t *testing.T) {
+			lm, sc := &binimg.LabelMap{}, &core.Scratch{}
+			n, err := alg.run(context.Background(), img, lm, sc)
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if verr := stats.Validate(img, lm, n, true); verr != nil {
+				t.Fatalf("validate: %v", verr)
+			}
+		})
+	}
+}
+
+// TestCtxPreCanceled: a context that is already dead stops every algorithm
+// at its first poll point with the context's error and n == 0.
+func TestCtxPreCanceled(t *testing.T) {
+	// Tall enough that every path crosses at least one 64-row poll boundary.
+	img := dataset.UniformNoise(128, 300, 0.5, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range ctxAlgs {
+		t.Run(alg.name, func(t *testing.T) {
+			lm, sc := &binimg.LabelMap{}, &core.Scratch{}
+			n, err := alg.run(ctx, img, lm, sc)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if n != 0 {
+				t.Fatalf("n = %d after cancellation, want 0", n)
+			}
+		})
+	}
+}
+
+// TestCtxBuffersReusableAfterCancel: a canceled labeling leaves lm and sc in
+// an undefined but reusable state — the very next call with a live context
+// must produce a fully correct labeling from the same buffers.
+func TestCtxBuffersReusableAfterCancel(t *testing.T) {
+	poison := dataset.UniformNoise(300, 300, 0.6, 9)
+	img := dataset.UniformNoise(150, 97, 0.5, 10)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range ctxAlgs {
+		t.Run(alg.name, func(t *testing.T) {
+			lm, sc := &binimg.LabelMap{}, &core.Scratch{}
+			if _, err := alg.run(dead, poison, lm, sc); !errors.Is(err, context.Canceled) {
+				t.Fatalf("poison run: err = %v, want context.Canceled", err)
+			}
+			n, err := alg.run(context.Background(), img, lm, sc)
+			if err != nil {
+				t.Fatalf("reuse run: %v", err)
+			}
+			if verr := stats.Validate(img, lm, n, true); verr != nil {
+				t.Fatalf("reuse after cancel left stale state: %v", verr)
+			}
+		})
+	}
+}
+
+// TestCtxDeadlinePropagates: the error reported is the context's own —
+// DeadlineExceeded for an expired deadline, not a generic cancellation.
+func TestCtxDeadlinePropagates(t *testing.T) {
+	img := dataset.UniformNoise(128, 300, 0.5, 11)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	lm, sc := &binimg.LabelMap{}, &core.Scratch{}
+	if _, err := core.CCLREMSPIntoCtx(ctx, img, lm, sc); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// BenchmarkCancelCheck measures the cost of the cancellation polling on the
+// sequential hot path: the Ctx variant under a never-canceled context versus
+// the plain entry point. The per-row nil-channel check must stay in the
+// noise (the perf gate compares the *Into numbers against the baseline
+// report with this code compiled in).
+func BenchmarkCancelCheck(b *testing.B) {
+	img := dataset.UniformNoise(1024, 1024, 0.5, 12)
+	lm, sc := &binimg.LabelMap{}, &core.Scratch{}
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(int64(img.Width * img.Height))
+		for i := 0; i < b.N; i++ {
+			core.CCLREMSPInto(img, lm, sc)
+		}
+	})
+	b.Run("ctx-background", func(b *testing.B) {
+		ctx := context.Background()
+		b.SetBytes(int64(img.Width * img.Height))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CCLREMSPIntoCtx(ctx, img, lm, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ctx-live-cancelable", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b.SetBytes(int64(img.Width * img.Height))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CCLREMSPIntoCtx(ctx, img, lm, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

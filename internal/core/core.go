@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/binimg"
 	"repro/internal/scan"
 	"repro/internal/unionfind"
@@ -127,15 +129,8 @@ func CCLREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
 // with Reset) and drawing equivalence buffers from sc (nil allocates fresh
 // ones). Returns the component count.
 func CCLREMSPInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) int {
-	if sc == nil {
-		sc = &Scratch{}
-	}
-	lm.Reset(img.Width, img.Height)
-	sink := &RemSink{p: sc.parents(scan.MaxProvisionalLabels(img.Width, img.Height))}
-	scan.DecisionTree(img, lm, sink, 0, img.Height)
-	n := unionfind.Flatten(sink.p, sink.count)
-	relabelSeq(lm, sink.p)
-	return int(n)
+	n, _ := CCLREMSPIntoCtx(context.Background(), img, lm, sc)
+	return n
 }
 
 // AREMSP is the paper's Algorithm 5: two-rows-at-a-time scan phase (Alg. 6),
@@ -151,15 +146,8 @@ func AREMSP(img *binimg.Image) (*binimg.LabelMap, int) {
 // with Reset) and drawing equivalence buffers from sc (nil allocates fresh
 // ones). Returns the component count.
 func AREMSPInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch) int {
-	if sc == nil {
-		sc = &Scratch{}
-	}
-	lm.Reset(img.Width, img.Height)
-	sink := &RemSink{p: sc.parents(scan.MaxProvisionalLabels(img.Width, img.Height))}
-	scan.PairRows(img, lm, sink, 0, img.Height)
-	n := unionfind.Flatten(sink.p, sink.count)
-	relabelSeq(lm, sink.p)
-	return int(n)
+	n, _ := AREMSPIntoCtx(context.Background(), img, lm, sc)
+	return n
 }
 
 // relabelSeq rewrites provisional labels to final labels through the

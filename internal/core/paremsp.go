@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/binimg"
@@ -114,6 +116,15 @@ func PAREMSPTimed(img *binimg.Image, opt Options) (*binimg.LabelMap, int, PhaseT
 // labeling allocation-free; this is the entry point the service layer's
 // buffer pools feed.
 func PAREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes) {
+	n, times, _ := PAREMSPTimedIntoCtx(context.Background(), img, lm, sc, opt)
+	return n, times
+}
+
+// PAREMSPTimedIntoCtx is PAREMSPTimedInto with cooperative cancellation: the
+// chunked scans and relabels poll ctx per row block and the driver checks ctx
+// between phases. A canceled run returns ctx's error with the phase times
+// accumulated so far.
+func PAREMSPTimedIntoCtx(ctx context.Context, img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt Options) (int, PhaseTimes, error) {
 	threads := opt.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -124,7 +135,7 @@ func PAREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt O
 	w, h := img.Width, img.Height
 	lm.Reset(w, h)
 	if w == 0 || h == 0 {
-		return 0, PhaseTimes{}
+		return 0, PhaseTimes{}, nil
 	}
 
 	// Chunk geometry: numiter row pairs split across threads, each chunk an
@@ -140,7 +151,9 @@ func PAREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt O
 	maxLabel := Label(numPairs) * stride
 	p := sc.parents(int(maxLabel))
 
+	done := ctxDone(ctx)
 	var times PhaseTimes
+	var stop atomic.Bool
 
 	// Phase I: concurrent chunk scans.
 	t0 := time.Now()
@@ -152,11 +165,16 @@ func PAREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt O
 			defer wg.Done()
 			offset := Label(rowStart/2) * stride
 			sink := NewRemSinkShared(p, offset)
-			scan.PairRows(img, lm, sink, rowStart, rowEnd)
+			if !scan.PairRowsUntil(img, lm, sink, rowStart, rowEnd, done) {
+				stop.Store(true)
+			}
 		}()
 	}
 	wg.Wait()
 	times.Scan = time.Since(t0)
+	if stop.Load() {
+		return 0, times, cancelErr(ctx)
+	}
 
 	// Phase II: boundary merges.
 	t0 = time.Now()
@@ -178,22 +196,32 @@ func PAREMSPTimedInto(img *binimg.Image, lm *binimg.LabelMap, sc *Scratch, opt O
 		wg.Wait()
 	}
 	times.Merge = time.Since(t0)
+	if stopped(done) {
+		return 0, times, cancelErr(ctx)
+	}
 
 	// Phase III: FLATTEN over the sparse label space.
 	t0 = time.Now()
 	n := unionfind.FlattenSparse(p, maxLabel)
 	times.Flatten = time.Since(t0)
+	if stopped(done) {
+		return 0, times, cancelErr(ctx)
+	}
 
 	// Phase IV: relabel.
 	t0 = time.Now()
+	var relabeled bool
 	if opt.SequentialRelabel || threads == 1 {
-		relabelSeq(lm, p)
+		relabeled = relabelSeqUntil(lm, p, done)
 	} else {
-		relabelPar(lm, p, threads)
+		relabeled = relabelParUntil(lm, p, threads, done)
 	}
 	times.Relabel = time.Since(t0)
+	if !relabeled {
+		return 0, times, cancelErr(ctx)
+	}
 
-	return int(n), times
+	return int(n), times, nil
 }
 
 // chunkStarts splits numPairs row pairs over threads chunks as evenly as
@@ -254,13 +282,16 @@ func mergeBoundaryRow(img *binimg.Image, lm *binimg.LabelMap, merge func(x, y La
 	}
 }
 
-// relabelPar rewrites provisional labels to final labels with threads
-// goroutines over row bands.
-func relabelPar(lm *binimg.LabelMap, p []Label, threads int) {
+// relabelParUntil rewrites provisional labels to final labels with threads
+// goroutines over row bands, each polling done per row block; reports whether
+// every band ran to completion.
+func relabelParUntil(lm *binimg.LabelMap, p []Label, threads int, done <-chan struct{}) bool {
 	l := lm.L
 	n := len(l)
 	chunk := (n + threads - 1) / threads
+	block := relabelBlock(lm.Width)
 	var wg sync.WaitGroup
+	var stop atomic.Bool
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -269,12 +300,11 @@ func relabelPar(lm *binimg.LabelMap, p []Label, threads int) {
 		wg.Add(1)
 		go func(part []Label) {
 			defer wg.Done()
-			for i, v := range part {
-				if v != 0 {
-					part[i] = p[v]
-				}
+			if !relabelSliceUntil(part, p, block, done) {
+				stop.Store(true)
 			}
 		}(l[lo:hi])
 	}
 	wg.Wait()
+	return !stop.Load()
 }

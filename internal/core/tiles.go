@@ -127,7 +127,7 @@ func PAREMSP2D(img *binimg.Image, tilesX, tilesY, threads int) (*binimg.LabelMap
 	if threads == 1 {
 		relabelSeq(lm, p)
 	} else {
-		relabelPar(lm, p, threads)
+		relabelParUntil(lm, p, threads, nil)
 	}
 	return lm, int(n)
 }

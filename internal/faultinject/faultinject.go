@@ -1,0 +1,245 @@
+// Package faultinject provides process-local failpoints for chaos testing
+// the labeling service: named points in the engine and HTTP handlers call
+// Fire/Delay, which do nothing (one atomic load, no allocation) until a test
+// or the CCSERVE_FAULTS environment variable arms them.
+//
+// Each armed point carries a Spec: fire on every Nth eligible call, stop
+// after a fire budget, and (for the stall points) how long to sleep. Fired
+// counts are recorded so chaos tests can assert that observed failures —
+// e.g. the worker-panic metric — exactly match the injected ones.
+//
+// The package is intentionally global (failpoints cut across layers that
+// share no plumbing) and intended for tests and supervised chaos runs only;
+// Reset restores the fully disarmed state.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names an injection site.
+type Point string
+
+// The failpoints wired into the service.
+const (
+	// DecodeError makes the request decode path fail before any raster is
+	// produced (exercises the sync 400 path and immediately-failed jobs).
+	DecodeError Point = "decode-error"
+	// WorkerStall delays a worker for Spec.Delay before it computes
+	// (exercises timeouts, drain waiting and queue backpressure).
+	WorkerStall Point = "worker-stall"
+	// WorkerPanic panics inside a worker's compute (exercises panic
+	// isolation, quarantine and the worker_panics_total metric).
+	WorkerPanic Point = "worker-panic"
+	// EncodeSlow delays the sync result encode for Spec.Delay (exercises
+	// slow-client behavior under drain).
+	EncodeSlow Point = "encode-slow"
+	// QueueFull rejects an admission as if the engine queue were full
+	// (exercises 429 bursts and Retry-After).
+	QueueFull Point = "queue-full"
+)
+
+// Points lists every failpoint the service wires up.
+func Points() []Point {
+	return []Point{DecodeError, WorkerStall, WorkerPanic, EncodeSlow, QueueFull}
+}
+
+// Spec configures an armed failpoint.
+type Spec struct {
+	// Every fires the point on every Nth eligible call; 0 or 1 means every
+	// call.
+	Every int
+	// Times caps the number of fires; 0 means unlimited.
+	Times int
+	// Delay is how long the stall points sleep when they fire.
+	Delay time.Duration
+}
+
+type state struct {
+	spec     Spec
+	disarmed bool
+	hits     int64
+	fired    int64
+}
+
+var (
+	// armedCount is the fast-path gate: zero means every Fire/Delay call is
+	// one atomic load and an immediate return. It counts armed (not
+	// disarmed) table entries.
+	armedCount atomic.Int32
+	mu         sync.Mutex
+	table      map[Point]*state
+)
+
+// Armed reports whether any failpoint is armed. The zero-cost fast path for
+// call sites that want to skip building arguments.
+func Armed() bool { return armedCount.Load() != 0 }
+
+// Arm installs (or replaces) the spec for p. Counters restart at zero.
+func Arm(p Point, s Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if table == nil {
+		table = make(map[Point]*state)
+	}
+	if st, ok := table[p]; !ok || st.disarmed {
+		armedCount.Add(1)
+	}
+	table[p] = &state{spec: s}
+}
+
+// Disarm stops p from firing but keeps its fired count readable until Reset.
+func Disarm(p Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := table[p]; ok && !st.disarmed {
+		st.disarmed = true
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every point and forgets all counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	table = nil
+	armedCount.Store(0)
+}
+
+// Fire reports whether p fires on this call. Disarmed points never fire and
+// cost one atomic load when nothing at all is armed.
+func Fire(p Point) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	_, fired := hit(p)
+	return fired
+}
+
+// Delay returns how long p wants this call to sleep (0 when it does not
+// fire). The caller sleeps; points with a zero Spec.Delay never request one.
+func Delay(p Point) time.Duration {
+	if armedCount.Load() == 0 {
+		return 0
+	}
+	sp, fired := hit(p)
+	if !fired {
+		return 0
+	}
+	return sp.Delay
+}
+
+// Fired returns how many times p has fired since it was last armed.
+func Fired(p Point) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := table[p]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// hit advances p's counters and decides whether this call fires.
+func hit(p Point) (Spec, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := table[p]
+	if !ok || st.disarmed {
+		return Spec{}, false
+	}
+	st.hits++
+	every := st.spec.Every
+	if every < 1 {
+		every = 1
+	}
+	if st.hits%int64(every) != 0 {
+		return Spec{}, false
+	}
+	if st.spec.Times > 0 && st.fired >= int64(st.spec.Times) {
+		return Spec{}, false
+	}
+	st.fired++
+	return st.spec, true
+}
+
+// ArmFromEnv arms failpoints from a CCSERVE_FAULTS-style string:
+//
+//	point[:key=value]...[,point[:key=value]...]...
+//
+// where key is every, times or delay (a time.Duration), e.g.
+//
+//	worker-panic:every=7:times=3,worker-stall:delay=50ms
+//
+// An empty string arms nothing. Unknown points or options are an error (and
+// nothing from the string is armed).
+func ArmFromEnv(v string) error {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return nil
+	}
+	known := make(map[Point]bool)
+	for _, p := range Points() {
+		known[p] = true
+	}
+	type armReq struct {
+		p Point
+		s Spec
+	}
+	var reqs []armReq
+	for _, part := range strings.Split(v, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		p := Point(fields[0])
+		if !known[p] {
+			return fmt.Errorf("faultinject: unknown failpoint %q (have %s)", fields[0], pointNames())
+		}
+		var s Spec
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return fmt.Errorf("faultinject: %s: option %q is not key=value", p, f)
+			}
+			switch key {
+			case "every":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return fmt.Errorf("faultinject: %s: every=%q is not a positive integer", p, val)
+				}
+				s.Every = n
+			case "times":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return fmt.Errorf("faultinject: %s: times=%q is not a positive integer", p, val)
+				}
+				s.Times = n
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return fmt.Errorf("faultinject: %s: delay=%q is not a duration", p, val)
+				}
+				s.Delay = d
+			default:
+				return fmt.Errorf("faultinject: %s: unknown option %q (want every, times or delay)", p, key)
+			}
+		}
+		reqs = append(reqs, armReq{p, s})
+	}
+	for _, r := range reqs {
+		Arm(r.p, r.s)
+	}
+	return nil
+}
+
+func pointNames() string {
+	var names []string
+	for _, p := range Points() {
+		names = append(names, string(p))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() = true after Reset")
+	}
+	for _, p := range Points() {
+		if Fire(p) {
+			t.Fatalf("%s fired while disarmed", p)
+		}
+		if d := Delay(p); d != 0 {
+			t.Fatalf("%s requested delay %v while disarmed", p, d)
+		}
+		if n := Fired(p); n != 0 {
+			t.Fatalf("%s reports %d fires while disarmed", p, n)
+		}
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Reset()
+	Arm(QueueFull, Spec{Every: 3})
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if Fire(QueueFull) {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fires) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fires, want)
+		}
+	}
+	if n := Fired(QueueFull); n != 3 {
+		t.Fatalf("Fired = %d, want 3", n)
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, Spec{Times: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Fire(WorkerPanic) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times with Times=2", fired)
+	}
+	if n := Fired(WorkerPanic); n != 2 {
+		t.Fatalf("Fired = %d, want 2", n)
+	}
+}
+
+func TestDelaySpec(t *testing.T) {
+	defer Reset()
+	Arm(WorkerStall, Spec{Every: 2, Delay: 5 * time.Millisecond})
+	if d := Delay(WorkerStall); d != 0 {
+		t.Fatalf("call 1 requested delay %v, want 0 (Every=2)", d)
+	}
+	if d := Delay(WorkerStall); d != 5*time.Millisecond {
+		t.Fatalf("call 2 requested delay %v, want 5ms", d)
+	}
+}
+
+func TestDisarmKeepsFiredReadable(t *testing.T) {
+	defer Reset()
+	Arm(DecodeError, Spec{})
+	Fire(DecodeError)
+	Fire(DecodeError)
+	Disarm(DecodeError)
+	if Fire(DecodeError) {
+		t.Fatal("fired after Disarm")
+	}
+	if n := Fired(DecodeError); n != 2 {
+		t.Fatalf("Fired = %d after Disarm, want 2", n)
+	}
+	if Armed() {
+		t.Fatal("Armed() = true with the only point disarmed")
+	}
+}
+
+func TestRearmRestartsCounters(t *testing.T) {
+	defer Reset()
+	Arm(DecodeError, Spec{})
+	Fire(DecodeError)
+	Arm(DecodeError, Spec{Every: 2})
+	if n := Fired(DecodeError); n != 0 {
+		t.Fatalf("Fired = %d after re-Arm, want 0", n)
+	}
+	if Fire(DecodeError) {
+		t.Fatal("call 1 fired with Every=2 after re-Arm")
+	}
+	if !Fire(DecodeError) {
+		t.Fatal("call 2 did not fire with Every=2")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer Reset()
+	err := ArmFromEnv("worker-panic:every=7:times=3,worker-stall:delay=50ms,queue-full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Armed() {
+		t.Fatal("nothing armed")
+	}
+	for i := 0; i < 6; i++ {
+		if Fire(WorkerPanic) {
+			t.Fatalf("worker-panic fired on call %d with every=7", i+1)
+		}
+	}
+	if !Fire(WorkerPanic) {
+		t.Fatal("worker-panic did not fire on call 7")
+	}
+	if d := Delay(WorkerStall); d != 50*time.Millisecond {
+		t.Fatalf("worker-stall delay = %v, want 50ms", d)
+	}
+	if !Fire(QueueFull) {
+		t.Fatal("bare point did not fire on every call")
+	}
+}
+
+func TestArmFromEnvRejectsBadInput(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{
+		"no-such-point",
+		"worker-panic:every=0",
+		"worker-panic:every=x",
+		"worker-stall:delay=fast",
+		"worker-panic:times",
+		"worker-panic:bogus=1",
+	} {
+		if err := ArmFromEnv(bad); err == nil {
+			t.Errorf("ArmFromEnv(%q) = nil error", bad)
+		}
+		if Armed() {
+			t.Fatalf("ArmFromEnv(%q) armed something despite the error", bad)
+		}
+	}
+	if err := ArmFromEnv("  "); err != nil {
+		t.Fatalf("blank spec: %v", err)
+	}
+}
+
+// BenchmarkDisarmedFire documents the production cost of a wired failpoint:
+// one atomic load.
+func BenchmarkDisarmedFire(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		if Fire(WorkerPanic) {
+			b.Fatal("fired while disarmed")
+		}
+	}
+}

@@ -6,8 +6,8 @@
 // connectivity, binarization level and output kind (see Key) — so the ID
 // doubles as the dedup key: submitting an identical request finds the
 // existing job and returns its cached result instead of recomputing.
-// Jobs move queued → running → done/failed. Finished jobs (results and
-// failures alike) are retained for the store's TTL and then evicted by a
+// Jobs move queued → running → done/failed/canceled. Finished jobs (results
+// and failures alike) are retained for the store's TTL and then evicted by a
 // background sweeper goroutine; a Get after the deadline evicts lazily, so
 // expiry is observable without waiting for the next sweep tick. Queued and
 // running jobs are never evicted.
@@ -34,17 +34,23 @@ import (
 type State string
 
 // Job lifecycle states. A job is created queued, moves to running when a
-// pool worker picks it up, and ends done (result available) or failed
-// (Job.Err explains why).
+// pool worker picks it up, and ends done (result available), failed
+// (Job.Err explains why) or canceled (its context ended first).
 const (
 	StateQueued  State = "queued"
 	StateRunning State = "running"
 	StateDone    State = "done"
 	StateFailed  State = "failed"
+	// StateCanceled marks a job whose context was canceled before it
+	// completed — client timeout, -job-timeout, or server drain. Like
+	// failed, a canceled job is replaced on resubmission.
+	StateCanceled State = "canceled"
 )
 
-// Finished reports whether s is a terminal state (done or failed).
-func (s State) Finished() bool { return s == StateDone || s == StateFailed }
+// Finished reports whether s is a terminal state (done, failed or canceled).
+func (s State) Finished() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // Kind is what a job computes: a full labeling (results renderable as
 // JSON/PGM/PNG/CCL1) or streaming component statistics (JSON only).
@@ -158,6 +164,7 @@ const (
 	EventStarted   = "started"
 	EventDone      = "done"
 	EventFailed    = "failed"
+	EventCanceled  = "canceled"
 	EventEvicted   = "evicted"
 )
 
@@ -196,10 +203,10 @@ const entryOverheadBytes = 512
 // per-state gauges plus cumulative submission, dedup-hit and eviction
 // counters.
 type Counts struct {
-	Queued, Running, Done, Failed int64
-	Submitted                     int64
-	DedupHits                     int64
-	Evicted                       int64
+	Queued, Running, Done, Failed, Canceled int64
+	Submitted                               int64
+	DedupHits                               int64
+	Evicted                                 int64
 	// ResultBytes is the estimated memory currently pinned by retained
 	// results (bounded by Options.MaxResultBytes plus one result).
 	ResultBytes int64
@@ -239,7 +246,7 @@ type Store struct {
 	// Per-state gauges, maintained at every transition (always under the
 	// owning shard's lock) so Counts never scans the shards — a /metrics
 	// scrape must not stall submissions behind an O(jobs) walk.
-	queued, running, done, failed atomic.Int64
+	queued, running, done, failed, canceled atomic.Int64
 
 	// now is the clock, injected via newStore so tests drive TTL expiry.
 	now func() time.Time
@@ -325,6 +332,8 @@ func (s *Store) stateGauge(st State) *atomic.Int64 {
 		return &s.running
 	case StateDone:
 		return &s.done
+	case StateCanceled:
+		return &s.canceled
 	default:
 		return &s.failed
 	}
@@ -383,8 +392,8 @@ func resultBytes(r *Result) int64 {
 // CreateOrGet is the dedup gate: if a live job with this ID exists, it
 // returns that job's snapshot and existed=true (a dedup hit — queued,
 // running and done jobs all count). Otherwise it creates a fresh queued job
-// and returns existed=false; a failed or expired job under the same ID is
-// replaced rather than returned, so clients can retry failed submissions.
+// and returns existed=false; a failed, canceled or expired job under the
+// same ID is replaced rather than returned, so clients can retry.
 func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
 	sh := s.shardFor(id)
 	now := s.now()
@@ -393,7 +402,8 @@ func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
 	sh.mu.Lock()
 	if e, ok := sh.jobs[id]; ok {
 		expired := !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt)
-		if e.job.State != StateFailed && !expired {
+		retryable := e.job.State == StateFailed || e.job.State == StateCanceled
+		if !retryable && !expired {
 			s.dedupHits.Add(1)
 			j := e.job
 			sh.mu.Unlock()
@@ -405,7 +415,7 @@ func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
 			events[nev] = evictedEvent(&e.job)
 			nev++
 		}
-		// Failed or expired: drop it and replace with a fresh job.
+		// Failed, canceled or expired: drop it and replace with a fresh job.
 		s.dropLocked(sh, id, e)
 	}
 	e := &entry{
@@ -557,6 +567,35 @@ func (s *Store) Fail(id string, gen uint64, err error) {
 	}
 }
 
+// Cancel moves a job to canceled with err (the context error that stopped
+// it) as the reason and arms TTL eviction. Same no-op semantics as Fail for
+// deleted or superseded jobs; queued jobs canceled by a drain move straight
+// from queued to canceled.
+func (s *Store) Cancel(id string, gen uint64, err error) {
+	var ev Event
+	s.update(id, gen, func(j *Job) {
+		if j.State.Finished() {
+			return
+		}
+		s.shift(j.State, StateCanceled)
+		j.State = StateCanceled
+		j.Err = err.Error()
+		j.Finished = s.now()
+		j.ExpiresAt = j.Finished.Add(s.ttl)
+		ev = Event{Type: EventCanceled, ID: j.ID, Kind: j.Kind, Err: j.Err}
+		if !j.Started.IsZero() {
+			ev.Wait = j.Started.Sub(j.Created)
+			ev.Run = j.Finished.Sub(j.Started)
+		}
+	})
+	if ev.Type != "" {
+		s.emit(ev)
+	}
+	if s.retained.Load() > s.maxBytes {
+		s.evictOverflow()
+	}
+}
+
 func (s *Store) update(id string, gen uint64, f func(*Job)) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -623,6 +662,7 @@ func (s *Store) Counts() Counts {
 		Running:     s.running.Load(),
 		Done:        s.done.Load(),
 		Failed:      s.failed.Load(),
+		Canceled:    s.canceled.Load(),
 		Submitted:   s.submitted.Load(),
 		DedupHits:   s.dedupHits.Load(),
 		Evicted:     s.evicted.Load(),

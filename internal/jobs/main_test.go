@@ -1,0 +1,13 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any store goroutine (the TTL sweeper, event
+// callbacks) outlives the tests.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,87 @@
+// Package leakcheck fails a test binary whose goroutines outlive its tests —
+// a dependency-free, goleak-style guard. A package opts in with
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the tests pass, Main snapshots every goroutine stack and fails the
+// run if any goroutine executing this module's code (its stack mentions a
+// repro/ function) is still alive once a grace period lapses. The grace
+// period absorbs goroutines that are mid-exit — a worker that sent its last
+// result but has not returned yet — while real leaks (a worker pool that was
+// never Closed, a sweeper whose Store leaked) remain and fail loudly with
+// their stacks printed.
+//
+// System, runtime and test-framework goroutines are ignored: they don't
+// reference repro/ frames, and leaks we can act on necessarily do.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// module prefix that marks a goroutine as ours. Function symbols in
+// runtime.Stack output are import-path-qualified ("repro/internal/...").
+const modulePrefix = "repro/"
+
+// Main runs the package's tests and then Check; a detected leak turns a
+// passing run into exit code 1. Use from TestMain.
+func Main(m interface{ Run() int }) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls the goroutine table until no goroutine running this module's
+// code remains or timeout lapses, then reports the survivors.
+func Check(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var leaked []string
+	for {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) still running %s code after %v:\n\n%s",
+		len(leaked), modulePrefix, timeout, strings.Join(leaked, "\n\n"))
+}
+
+// leakedGoroutines snapshots all goroutine stacks and returns those that
+// reference this module, excluding the caller's own goroutine (whose stack
+// contains this package's frames).
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, modulePrefix) {
+			continue
+		}
+		// The goroutine running this check (TestMain → Main → Check).
+		if strings.Contains(g, "leakcheck") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -48,9 +48,20 @@ func (rs *RunSet) RowRuns(y int) []Run {
 // rows are both sorted, so one two-pointer sweep finds all overlaps; sink
 // calls happen only per run and per overlap, never per pixel.
 func Runs(bm *binimg.Bitmap, sink Sink, rowStart, rowEnd int, rs *RunSet) {
+	RunsUntil(bm, sink, rowStart, rowEnd, rs, nil)
+}
+
+// RunsUntil is Runs with cooperative cancellation: every pollRows rows it
+// polls done and, if the channel is closed, abandons the scan and reports
+// false. A nil done never cancels. On a stop rs holds only the rows scanned
+// so far — callers must discard the labeling.
+func RunsUntil(bm *binimg.Bitmap, sink Sink, rowStart, rowEnd int, rs *RunSet, done <-chan struct{}) bool {
 	rs.Reset(rowStart)
 	prevLo, prevHi := 0, 0
 	for y := rowStart; y < rowEnd; y++ {
+		if done != nil && (y-rowStart)%pollRows == 0 && stopRequested(done) {
+			return false
+		}
 		lo := len(rs.Runs)
 		rs.Runs = bm.AppendRowRuns(rs.Runs, y)
 		cur := rs.Runs[lo:]
@@ -80,6 +91,7 @@ func Runs(bm *binimg.Bitmap, sink Sink, rowStart, rowEnd int, rs *RunSet) {
 		prevLo, prevHi = lo, len(rs.Runs)
 		rs.rowIdx = append(rs.rowIdx, len(rs.Runs))
 	}
+	return true
 }
 
 // MergeRuns unites every run of cur with every overlapping (8-connectivity)

@@ -30,6 +30,26 @@ type Sink interface {
 	Merge(x, y Label) Label
 }
 
+// pollRows is how many rows a cancelable scan processes between polls of its
+// done channel. 64 rows amortizes the poll to well under the cost of scanning
+// one row, so an armed channel is ~free and a nil channel costs one predicted
+// branch per row.
+const pollRows = 64
+
+// stopRequested reports whether done is closed without blocking. A nil done
+// never stops, so the non-cancelable entry points stay zero-cost.
+func stopRequested(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // DecisionTree runs the Wu-Otoo-Suzuki decision-tree scan over rows
 // [rowStart, rowEnd) of img, writing provisional labels into lm. Rows above
 // rowStart are never read (rowStart behaves like the top of the image), which
@@ -41,10 +61,22 @@ type Sink interface {
 // sites — the tree guarantees all other configurations are already
 // equivalent.
 func DecisionTree(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, rowEnd int) {
+	DecisionTreeUntil(img, lm, sink, rowStart, rowEnd, nil)
+}
+
+// DecisionTreeUntil is DecisionTree with cooperative cancellation: every
+// pollRows rows it polls done and, if the channel is closed, abandons the
+// scan and reports false. A nil done never cancels. Labels written before the
+// stop remain in lm but the scan is incomplete — callers must discard the
+// labeling.
+func DecisionTreeUntil(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, rowEnd int, done <-chan struct{}) bool {
 	w := img.Width
 	pix := img.Pix
 	lab := lm.L
 	for y := rowStart; y < rowEnd; y++ {
+		if done != nil && (y-rowStart)%pollRows == 0 && stopRequested(done) {
+			return false
+		}
 		row := y * w
 		up := row - w
 		hasUp := y > rowStart
@@ -88,6 +120,7 @@ func DecisionTree(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, r
 			lab[row+x] = le
 		}
 	}
+	return true
 }
 
 // PairRows runs the He-Chao-Suzuki two-rows-at-a-time scan (paper Alg. 6,
@@ -103,10 +136,20 @@ func DecisionTree(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, r
 // assignment in the e==0 branch goes to g. The trailing "if image(g):
 // label(g) = label(e)" applies to every e==1 case.
 func PairRows(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, rowEnd int) {
+	PairRowsUntil(img, lm, sink, rowStart, rowEnd, nil)
+}
+
+// PairRowsUntil is PairRows with cooperative cancellation: every pollRows
+// row pairs it polls done and, if the channel is closed, abandons the scan
+// and reports false. A nil done never cancels.
+func PairRowsUntil(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, rowEnd int, done <-chan struct{}) bool {
 	w := img.Width
 	pix := img.Pix
 	lab := lm.L
 	for r := rowStart; r < rowEnd; r += 2 {
+		if done != nil && (r-rowStart)%(2*pollRows) == 0 && stopRequested(done) {
+			return false
+		}
 		row := r * w
 		up := row - w
 		down := row + w
@@ -185,6 +228,7 @@ func PairRows(img *binimg.Image, lm *binimg.LabelMap, sink Sink, rowStart, rowEn
 			}
 		}
 	}
+	return true
 }
 
 // AllNeighbors8 is the classic Rosenfeld 8-connected forward scan: every

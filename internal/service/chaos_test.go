@@ -1,0 +1,254 @@
+package service
+
+// The chaos suite: arm every failpoint at once, hammer the service with
+// concurrent synchronous and asynchronous traffic, and assert the
+// fault-tolerance invariants the PR promises — every accepted job reaches a
+// terminal state, the worker-panic metric exactly matches the injected
+// panic count, the pool keeps serving after every kind of fault, and the
+// server still drains cleanly. Run it under -race (CI does): the failpoints
+// deliberately widen the windows where cancellation, panic recovery and
+// drain interleave. Goroutine leaks are caught by the package's TestMain
+// leak check.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	paremsp "repro"
+	"repro/internal/faultinject"
+	"repro/internal/jobs"
+)
+
+// chaosImage builds a small deterministic random raster; distinct seeds give
+// distinct payloads, so async submissions do not all dedup to one job.
+func chaosImage(seed int64) *paremsp.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := &paremsp.Image{Width: 24, Height: 24, Pix: make([]byte, 24*24)}
+	for i := range img.Pix {
+		if rng.Intn(2) == 1 {
+			img.Pix[i] = 1
+		}
+	}
+	return img
+}
+
+func TestChaosFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	// Every failpoint armed at once, at staggered primes so their firings
+	// interleave rather than synchronize.
+	faultinject.Arm(faultinject.DecodeError, faultinject.Spec{Every: 11})
+	faultinject.Arm(faultinject.WorkerStall, faultinject.Spec{Every: 5, Delay: 2 * time.Millisecond})
+	faultinject.Arm(faultinject.WorkerPanic, faultinject.Spec{Every: 7})
+	faultinject.Arm(faultinject.EncodeSlow, faultinject.Spec{Every: 13, Delay: time.Millisecond})
+	faultinject.Arm(faultinject.QueueFull, faultinject.Spec{Every: 17})
+
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	store := jobs.NewStore(jobs.Options{TTL: time.Hour})
+	eng := NewEngine(Config{Workers: 4, QueueDepth: 16, Threads: 1})
+	h := NewHandler(eng, HandlerConfig{
+		Jobs:           store,
+		Obs:            NewObs(nil, 64),
+		RequestTimeout: 5 * time.Second,
+		JobTimeout:     5 * time.Second,
+		BaseContext:    baseCtx,
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+		store.Close()
+	})
+
+	const clients, perClient = 8, 25
+	var (
+		mu     sync.Mutex
+		jobIDs []string
+		wg     sync.WaitGroup
+	)
+	status := map[int]int{}
+	record := func(code int) {
+		mu.Lock()
+		status[code]++
+		mu.Unlock()
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				seed := int64(c*perClient + i)
+				body := pbmBody(t, chaosImage(seed))
+				if i%2 == 0 { // synchronous label
+					resp := post(t, srv.URL+"/v1/label", ctPBM, ctJSON, body)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					record(resp.StatusCode)
+				} else { // async job
+					resp := post(t, srv.URL+"/v1/jobs", ctPBM, ctJSON, body)
+					record(resp.StatusCode)
+					if resp.StatusCode == http.StatusAccepted {
+						var out jobsSubmitResponse
+						if err := json.NewDecoder(resp.Body).Decode(&out); err == nil {
+							mu.Lock()
+							for _, j := range out.Jobs {
+								jobIDs = append(jobIDs, j.ID)
+							}
+							mu.Unlock()
+						}
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Under chaos the only acceptable outcomes are the documented failure
+	// modes; anything else (e.g. a 502 from a dead worker) is a bug.
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusAccepted: true,
+		http.StatusBadRequest:          true, // injected decode errors
+		http.StatusTooManyRequests:     true, // injected + real queue-full
+		http.StatusInternalServerError: true, // injected worker panics
+		http.StatusGatewayTimeout:      true, // stalls crossing the request timeout
+		http.StatusServiceUnavailable:  true,
+	}
+	for code, n := range status {
+		if !allowed[code] {
+			t.Fatalf("unexpected status %d (%d times) under chaos", code, n)
+		}
+	}
+	if status[http.StatusOK]+status[http.StatusAccepted] == 0 {
+		t.Fatal("no request succeeded under chaos; the faults were supposed to be partial")
+	}
+
+	// Every accepted async job must reach a terminal state — nothing may
+	// wedge in queued/running once the traffic stops.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, id := range jobIDs {
+		for {
+			j, ok := store.Get(id)
+			if !ok {
+				break // evicted/replaced by a colliding resubmission
+			}
+			if j.State.Finished() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s wedged in state %q after chaos", id, j.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The panic containment must account exactly: every injected panic is
+	// one counted recovery — none escaped, none double-counted.
+	snap := eng.Snapshot()
+	if fired := faultinject.Fired(faultinject.WorkerPanic); snap.Panics != fired {
+		t.Fatalf("worker_panics_total = %d, injected %d", snap.Panics, fired)
+	}
+	if snap.Panics == 0 {
+		t.Fatal("no panics were injected; chaos coverage hole")
+	}
+	if snap.InFlight != 0 {
+		t.Fatalf("in_flight = %d after traffic stopped, want 0", snap.InFlight)
+	}
+
+	// And after all that abuse, a clean labeling still works...
+	faultinject.Reset()
+	resp := post(t, srv.URL+"/v1/label", ctPBM, ctJSON, pbmBody(t, chaosImage(999)))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-chaos label = %d, want 200", resp.StatusCode)
+	}
+
+	// ...and the server drains cleanly within the timeout.
+	h.StartDrain()
+	if !eng.Drain(10 * time.Second) {
+		t.Fatal("server failed to drain after chaos")
+	}
+	baseCancel()
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hb), "draining") {
+		t.Fatalf("post-drain healthz = %d %q, want 503 draining", hresp.StatusCode, hb)
+	}
+}
+
+// TestChaosQueueFullBursts: the queue-full failpoint alone, firing often,
+// must surface as well-formed 429s with Retry-After hints and exact
+// rejection accounting — the shed path allocates no partial state.
+func TestChaosQueueFullBursts(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.QueueFull, faultinject.Spec{Every: 2})
+	eng, srv := newTestServer(t, Config{Workers: 2, Threads: 1}, HandlerConfig{})
+
+	before := eng.Snapshot().Rejected
+	var got429 int
+	for i := 0; i < 20; i++ {
+		resp := post(t, srv.URL+"/v1/label", ctPBM, ctJSON, pbmBody(t, chaosImage(int64(i))))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			got429++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		case http.StatusOK:
+		default:
+			t.Fatalf("status %d, want 200 or 429", resp.StatusCode)
+		}
+	}
+	fired := faultinject.Fired(faultinject.QueueFull)
+	if int64(got429) != fired {
+		t.Fatalf("got %d 429s, injected %d queue-full rejections", got429, fired)
+	}
+	if rej := eng.Snapshot().Rejected - before; rej != fired {
+		t.Fatalf("rejected_total grew by %d, want %d", rej, fired)
+	}
+}
+
+// TestChaosStallRespectsCancellation: a stalled worker (the worker-stall
+// failpoint with a long delay) must still honor the request timeout — the
+// stall sleeps under the job's context, so cancellation cuts it short.
+func TestChaosStallRespectsCancellation(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.WorkerStall, faultinject.Spec{Delay: time.Hour})
+	_, srv := newTestServer(t, Config{Workers: 1, Threads: 1},
+		HandlerConfig{RequestTimeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	resp := post(t, srv.URL+"/v1/label", ctPBM, ctJSON, pbmBody(t, chaosImage(1)))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled request took %v; the stall ignored cancellation", elapsed)
+	}
+	// The worker must come back without waiting out the hour.
+	faultinject.Disarm(faultinject.WorkerStall)
+	resp = post(t, srv.URL+"/v1/label", ctPBM, ctJSON, pbmBody(t, chaosImage(2)))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-stall status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -3,12 +3,16 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	paremsp "repro"
 	"repro/internal/band"
+	"repro/internal/faultinject"
 )
 
 // Typed engine errors. The HTTP layer maps ErrQueueFull to 429 and ErrClosed
@@ -19,6 +23,11 @@ var (
 	ErrQueueFull = errors.New("service: request queue full")
 	// ErrClosed reports a Label call after Close.
 	ErrClosed = errors.New("service: engine closed")
+	// ErrWorkerPanic reports that the labeling panicked on the worker. The
+	// panic is contained to the one job (the worker survives, the panicking
+	// job's pooled buffers are quarantined) and surfaces as a wrapped
+	// ErrWorkerPanic — the HTTP layer maps it to 500.
+	ErrWorkerPanic = errors.New("service: worker panicked")
 )
 
 // Config sizes an Engine.
@@ -33,6 +42,10 @@ type Config struct {
 	// request does not pin its own. 0 selects GOMAXPROCS/Workers (at least
 	// 1), so a fully busy pool does not oversubscribe the CPUs.
 	Threads int
+	// OnPanic, when non-nil, observes every worker panic with the recovered
+	// value and the panicking goroutine's stack (the HTTP layer logs them).
+	// It runs on the worker goroutine; keep it fast and non-panicking.
+	OnPanic func(v any, stack []byte)
 }
 
 // Engine runs labelings on a bounded worker pool. Create one with NewEngine;
@@ -48,15 +61,24 @@ type Engine struct {
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 
+	// draining makes workers reject still-queued jobs with context.Canceled
+	// so a drain only waits for jobs that had already started.
+	draining atomic.Bool
+
+	// onPanic is Config.OnPanic (may be nil).
+	onPanic func(v any, stack []byte)
+
 	imgPool sync.Pool // *paremsp.Image
 	bmPool  sync.Pool // *paremsp.Bitmap
 	lmPool  sync.Pool // *paremsp.LabelMap
 	scPool  sync.Pool // *paremsp.Scratch
 
-	// run performs one labeling; tests substitute it to control timing.
-	run func(img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
+	// run performs one labeling; tests substitute it to control timing. The
+	// context is the request's: the labeling polls it between row blocks and
+	// returns its error when canceled.
+	run func(ctx context.Context, img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
 	// runBM is run for bit-packed jobs (LabelBitmap requests).
-	runBM func(bm *paremsp.Bitmap, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
+	runBM func(ctx context.Context, bm *paremsp.Bitmap, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
 }
 
 // job carries one request; exactly one of img, bm and stream is non-nil.
@@ -113,8 +135,9 @@ func NewEngine(cfg Config) *Engine {
 		queueDepth: depth,
 		threads:    threads,
 		queue:      make(chan *job, depth),
-		run:        paremsp.LabelInto,
-		runBM:      paremsp.LabelBitmapInto,
+		onPanic:    cfg.OnPanic,
+		run:        paremsp.LabelIntoCtx,
+		runBM:      paremsp.LabelBitmapIntoCtx,
 	}
 	// Pool miss accounting lives in the New closures: a pool Get that finds
 	// nothing to reuse is exactly one New call, so gets − misses = hits.
@@ -326,6 +349,11 @@ func (e *Engine) reclaimInput(j *job) {
 // paths; on rejection the input raster is reclaimed.
 func (e *Engine) enqueue(j *job) (int, error) {
 	e.metrics.requests.Add(1)
+	if faultinject.Fire(faultinject.QueueFull) {
+		e.metrics.rejected.Add(1)
+		e.reclaimInput(j)
+		return 0, ErrQueueFull
+	}
 	if j.opt.Threads == 0 {
 		j.opt.Threads = e.threads
 	}
@@ -396,26 +424,128 @@ func (e *Engine) submit(j *job) jobResult {
 }
 
 // Close stops accepting work and waits for in-flight and queued labelings to
-// drain. Subsequent Label calls return ErrClosed; Close is idempotent.
+// drain. Subsequent Label calls return ErrClosed; Close is idempotent and
+// always waits for the workers, so calling it after a timed-out Drain (whose
+// stragglers the caller has since canceled) picks up the remaining exits.
 func (e *Engine) Close() {
+	e.closeQueue()
+	e.wg.Wait()
+}
+
+// closeQueue marks the engine closed and closes the queue channel exactly
+// once; subsequent submissions fail with ErrClosed.
+func (e *Engine) closeQueue() {
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+}
+
+// Drain shuts the engine down gracefully: admission stops (new submissions
+// fail with ErrClosed), jobs still sitting in the queue are rejected with
+// context.Canceled without running, and jobs already on a worker run to
+// completion. It reports whether every worker exited within timeout; on
+// false the caller should cancel the jobs' base context and then Close,
+// which waits for the now-canceled stragglers.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	e.draining.Store(true)
+	e.closeQueue()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// recoverPanic converts a panic on the calling goroutine into a wrapped
+// ErrWorkerPanic in *errp, counts it, and reports it to OnPanic with the
+// stack. It must be the direct deferred function of the compute it guards.
+func (e *Engine) recoverPanic(errp *error) {
+	v := recover()
+	if v == nil {
 		return
 	}
-	e.closed = true
-	close(e.queue)
-	e.mu.Unlock()
-	e.wg.Wait()
+	stack := debug.Stack()
+	e.metrics.panics.Add(1)
+	if e.onPanic != nil {
+		e.onPanic(v, stack)
+	}
+	*errp = fmt.Errorf("%w: %v", ErrWorkerPanic, v)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first. Used by
+// the worker-stall failpoint so an injected stall still honors cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// injectWorkerFaults runs the worker-stall and worker-panic failpoints. The
+// panic deliberately escapes into the compute helpers' recoverPanic so the
+// chaos suite exercises the same containment path a real panic takes.
+func injectWorkerFaults(ctx context.Context) {
+	if !faultinject.Armed() {
+		return
+	}
+	if d := faultinject.Delay(faultinject.WorkerStall); d > 0 {
+		sleepCtx(ctx, d)
+	}
+	if faultinject.Fire(faultinject.WorkerPanic) {
+		panic("faultinject: worker-panic")
+	}
+}
+
+// computeRaster runs one raster labeling with panic containment: a panic in
+// the labeling (or an injected one) surfaces as a wrapped ErrWorkerPanic
+// instead of killing the worker goroutine.
+func (e *Engine) computeRaster(j *job, lm *paremsp.LabelMap, sc *paremsp.Scratch) (res *paremsp.Result, npix int, err error) {
+	defer e.recoverPanic(&err)
+	injectWorkerFaults(j.ctx)
+	if j.img != nil {
+		npix = len(j.img.Pix)
+		res, err = e.run(j.ctx, j.img, lm, sc, j.opt)
+	} else {
+		npix = j.bm.Width * j.bm.Height
+		res, err = e.runBM(j.ctx, j.bm, lm, sc, j.opt)
+	}
+	return res, npix, err
+}
+
+// computeStream is computeRaster for band-streaming jobs.
+func (e *Engine) computeStream(j *job) (bres *band.Result, err error) {
+	defer e.recoverPanic(&err)
+	injectWorkerFaults(j.ctx)
+	return j.stream()
 }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
-		if j.ctx.Err() != nil {
+		if err := j.ctx.Err(); err != nil || e.draining.Load() {
+			// Dead context or a drain in progress: reject without running.
+			// Drain closes the queue first, so everything a worker still
+			// sees here was queued before admission stopped.
+			if err == nil {
+				err = context.Canceled
+			}
 			e.metrics.errors.Add(1)
 			e.reclaimInput(j)
-			j.done <- jobResult{err: j.ctx.Err()}
+			j.done <- jobResult{err: err}
 			continue
 		}
 		e.metrics.inFlight.Add(1)
@@ -431,7 +561,7 @@ func (e *Engine) worker() {
 			// the jobNs mean that RetryAfter is derived from (and out of
 			// the service-time histogram, for the same reason). They do
 			// count as busy time: the worker is occupied either way.
-			bres, err := j.stream()
+			bres, err := e.computeStream(j)
 			e.metrics.busyNs.Add(time.Since(start).Nanoseconds())
 			e.metrics.inFlight.Add(-1)
 			if err != nil {
@@ -449,25 +579,22 @@ func (e *Engine) worker() {
 		lm := e.lmPool.Get().(*paremsp.LabelMap)
 		e.metrics.poolGets[poolScratch].Add(1)
 		sc := e.scPool.Get().(*paremsp.Scratch)
-		var (
-			npix int
-			res  *paremsp.Result
-			err  error
-		)
-		if j.img != nil {
-			npix = len(j.img.Pix)
-			res, err = e.run(j.img, lm, sc, j.opt)
-		} else {
-			npix = j.bm.Width * j.bm.Height
-			res, err = e.runBM(j.bm, lm, sc, j.opt)
+		res, npix, err := e.computeRaster(j, lm, sc)
+		panicked := errors.Is(err, ErrWorkerPanic)
+		if !panicked {
+			// A panicking labeling may have left lm, sc and the input raster
+			// mid-mutation; quarantine them (drop instead of pooling) so the
+			// next request never sees a half-written buffer.
+			e.scPool.Put(sc)
+			e.reclaimInput(j)
 		}
-		e.scPool.Put(sc)
-		e.reclaimInput(j)
 		elapsed := time.Since(start).Nanoseconds()
 		e.metrics.busyNs.Add(elapsed)
 		e.metrics.inFlight.Add(-1)
 		if err != nil {
-			e.lmPool.Put(lm)
+			if !panicked {
+				e.lmPool.Put(lm)
+			}
 			e.metrics.errors.Add(1)
 			j.done <- jobResult{err: err, wait: wait}
 			continue

@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	paremsp "repro"
 	"repro/internal/band"
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/pnm"
 	"repro/internal/stream"
@@ -53,15 +55,40 @@ type HandlerConfig struct {
 	// NewDebugHandler dumps. nil creates a private, non-logging Obs (the
 	// histograms and /metrics exposition still work).
 	Obs *Obs
+	// RequestTimeout bounds a synchronous labeling request's labeling (queue
+	// wait + compute + result wait). A request that exceeds it has its job
+	// canceled and answers 504. 0 disables the server-side timeout.
+	RequestTimeout time.Duration
+	// JobTimeout bounds an async job from submission to terminal state; a
+	// job that exceeds it is canceled (terminal state "canceled"). 0
+	// disables the timeout.
+	JobTimeout time.Duration
+	// BaseContext, when non-nil, parents every async job's context so that
+	// canceling it (server drain/shutdown) cancels queued and running jobs.
+	// nil selects context.Background(), restoring fire-and-forget jobs.
+	BaseContext context.Context
 }
 
-type handler struct {
+// Handler is the service's HTTP surface — an http.Handler that additionally
+// exposes the drain lifecycle (StartDrain/Draining). Create it with
+// NewHandler.
+type Handler struct {
 	engine     *Engine
 	maxBytes   int64
 	level      float64
 	defaultAlg paremsp.Algorithm
 	jobs       *jobs.Store
 	obs        *Obs
+	reqTimeout time.Duration
+	jobTimeout time.Duration
+	baseCtx    context.Context
+
+	// draining makes admission endpoints answer 503 and flips /healthz to
+	// "draining" once StartDrain is called.
+	draining atomic.Bool
+
+	// root is the observability-wrapped mux ServeHTTP delegates to.
+	root http.Handler
 }
 
 // NewHandler wraps an Engine in the service's HTTP surface: POST /v1/label,
@@ -72,8 +99,18 @@ type handler struct {
 // are honored, otherwise one is minted), access lines go to the Obs
 // logger, per-endpoint latency feeds the /metrics histograms, and each
 // request leaves a phase trace in the Obs ring buffer.
-func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
-	h := &handler{engine: e, maxBytes: cfg.MaxImageBytes, level: cfg.Level, defaultAlg: cfg.DefaultAlgorithm, jobs: cfg.Jobs, obs: cfg.Obs}
+func NewHandler(e *Engine, cfg HandlerConfig) *Handler {
+	h := &Handler{
+		engine:     e,
+		maxBytes:   cfg.MaxImageBytes,
+		level:      cfg.Level,
+		defaultAlg: cfg.DefaultAlgorithm,
+		jobs:       cfg.Jobs,
+		obs:        cfg.Obs,
+		reqTimeout: cfg.RequestTimeout,
+		jobTimeout: cfg.JobTimeout,
+		baseCtx:    cfg.BaseContext,
+	}
 	if h.maxBytes <= 0 {
 		h.maxBytes = 64 << 20
 	}
@@ -82,6 +119,9 @@ func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
 	}
 	if h.obs == nil {
 		h.obs = NewObs(nil, 0)
+	}
+	if h.baseCtx == nil {
+		h.baseCtx = context.Background()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/label", h.label)
@@ -94,15 +134,51 @@ func NewHandler(e *Engine, cfg HandlerConfig) http.Handler {
 		mux.HandleFunc("GET /v1/jobs/{id}/result", h.jobResult)
 		mux.HandleFunc("DELETE /v1/jobs/{id}", h.jobDelete)
 	}
-	return h.obs.middleware(mux)
+	h.root = h.obs.middleware(mux)
+	return h
 }
 
-func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+// ServeHTTP dispatches to the handler's observability-wrapped mux.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.root.ServeHTTP(w, r) }
+
+// StartDrain flips the handler into drain mode: admission endpoints
+// (/v1/label, /v1/stats, POST /v1/jobs) answer 503 with a Retry-After hint
+// and /healthz reports "draining" with 503 so load balancers take the
+// instance out of rotation. Read endpoints (job status/result, /metrics)
+// keep working so in-flight outcomes stay fetchable during the drain
+// window. Idempotent; there is no undo.
+func (h *Handler) StartDrain() { h.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// rejectDraining answers an admission attempt made during drain.
+func (h *Handler) rejectDraining(w http.ResponseWriter) {
+	secs := int(math.Ceil(h.engine.RetryAfter().Seconds()))
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "server is draining", http.StatusServiceUnavailable)
+}
+
+// labelCtx derives the context a synchronous labeling runs under: the
+// request's, deadline-bounded when RequestTimeout is configured.
+func (h *Handler) labelCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), h.reqTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
-func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	h.engine.Snapshot().WriteTo(w)
 	h.engine.writeHistograms(w)
@@ -116,7 +192,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 // rejectBusy writes the 429 for a full queue, with a Retry-After derived
 // from the engine's observed mean job latency and current backlog instead
 // of a fixed guess.
-func (h *handler) rejectBusy(w http.ResponseWriter, err error) {
+func (h *Handler) rejectBusy(w http.ResponseWriter, err error) {
 	secs := int(math.Ceil(h.engine.RetryAfter().Seconds()))
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	http.Error(w, err.Error(), http.StatusTooManyRequests)
@@ -146,7 +222,11 @@ type componentJSON struct {
 	Centroid [2]float64 `json:"centroid"`
 }
 
-func (h *handler) label(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		h.rejectDraining(w)
+		return
+	}
 	accept, ok := negotiateAccept(r.Header.Get("Accept"))
 	if !ok {
 		http.Error(w, fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
@@ -184,11 +264,13 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		tr.DecodeNs = time.Since(decodeStart).Nanoseconds()
 		tr.Pixels = int64(width) * int64(height)
 	}
+	ctx, cancel := h.labelCtx(r)
+	defer cancel()
 	var res *paremsp.Result
 	if d.bm != nil {
-		res, err = h.engine.LabelBitmap(r.Context(), d.bm, opt)
+		res, err = h.engine.LabelBitmap(ctx, d.bm, opt)
 	} else {
-		res, err = h.engine.Label(r.Context(), d.img, opt)
+		res, err = h.engine.Label(ctx, d.img, opt)
 	}
 	if err != nil {
 		switch {
@@ -196,7 +278,15 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 			h.rejectBusy(w, err)
 		case errors.Is(err, ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(err, ErrWorkerPanic):
+			// Contained worker panic: this one job failed, the server is
+			// healthy — a retry may well succeed.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		case errors.Is(err, context.DeadlineExceeded):
+			// The -request-timeout budget (or the client's own deadline)
+			// lapsed; the labeling was canceled at its next poll point.
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
 			// Client gave up; nothing useful to write.
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		default:
@@ -231,6 +321,9 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 // async job result endpoint (which serves them precomputed).
 func writeLabeling(w http.ResponseWriter, accept string, width, height int, density float64,
 	lm *paremsp.LabelMap, numComponents int, phases paremsp.PhaseTimes, comps []paremsp.Component) {
+	if d := faultinject.Delay(faultinject.EncodeSlow); d > 0 {
+		time.Sleep(d)
+	}
 	switch accept {
 	case ctJSON:
 		resp := labelResponse{
@@ -296,7 +389,11 @@ type statsComponentJSON struct {
 // only their component statistics come back. Query parameters: level
 // (binarization threshold for P5), band (band height in rows, 0 = default).
 // The response is always JSON; there is no label raster to return.
-func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		h.rejectDraining(w)
+		return
+	}
 	if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
 		http.Error(w, fmt.Sprintf("unsupported Accept %q (stats responses are %s)",
 			r.Header.Get("Accept"), ctJSON), http.StatusNotAcceptable)
@@ -337,7 +434,9 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		tr.Alg = "band"
 		tr.Pixels = int64(src.Width()) * int64(src.Height())
 	}
-	res, err := h.engine.Stats(r.Context(), src, band.Options{BandRows: bandRows})
+	ctx, cancel := h.labelCtx(r)
+	defer cancel()
+	res, err := h.engine.Stats(ctx, src, band.Options{BandRows: bandRows, Ctx: ctx})
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {
@@ -345,7 +444,11 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 			h.rejectBusy(w, err)
 		case errors.Is(err, ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(err, ErrWorkerPanic):
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		case errors.As(err, &tooBig):
 			// The body ran over the cap mid-stream, after labeling began.
@@ -405,7 +508,10 @@ type decoded struct {
 // byte raster is never materialized; everything else decodes into a byte
 // Image. On error the borrowed raster is already back in its pool. Shared
 // by the synchronous label path and the async job submit path.
-func (h *handler) decodeRaster(kind string, body *bufio.Reader, alg paremsp.Algorithm, level float64) (decoded, error) {
+func (h *Handler) decodeRaster(kind string, body *bufio.Reader, alg paremsp.Algorithm, level float64) (decoded, error) {
+	if faultinject.Fire(faultinject.DecodeError) {
+		return decoded{}, errors.New("faultinject: decode-error")
+	}
 	if kind == "pnm" && bitPackedAlg(alg) && sniffP4(body) {
 		bm := h.engine.GetBitmap()
 		if err := pnm.DecodePBMBitmapInto(body, bm); err != nil {
@@ -431,7 +537,7 @@ func (h *handler) decodeRaster(kind string, body *bufio.Reader, alg paremsp.Algo
 
 // decodeError writes the HTTP failure for a request-body decode error:
 // 413 when the body ran over the size cap, 400 otherwise.
-func (h *handler) decodeError(w http.ResponseWriter, err error) {
+func (h *Handler) decodeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
 		http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)

@@ -130,7 +130,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // batchSizeError writes the failure for a multipart read error, wording
 // the over-cap case for the whole batch (decodeError's message is
 // per-image).
-func (h *handler) batchSizeError(w http.ResponseWriter, err error) {
+func (h *Handler) batchSizeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
 		http.Error(w, fmt.Sprintf("batch exceeds %d bytes in total (all parts share one -max-bytes cap; split the batch)",
@@ -156,7 +156,11 @@ func parseBandRows(v string) (int, error) {
 // job; anything else is a single image. Images that fail to decode still
 // become jobs — ones that fail immediately, observable via their status —
 // so one bad image never voids the rest of a batch.
-func (h *handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		h.rejectDraining(w)
+		return
+	}
 	opt, level, _, err := parseOptions(r, h.level, h.defaultAlg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -278,7 +282,7 @@ func (h *handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 // failed — not removed, since a concurrent identical submission may
 // already have dedup'd to its ID — and failed jobs are replaced on
 // resubmission.
-func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.Options, level float64, bandRows int) (entry jobJSON, shedErr error) {
+func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.Options, level float64, bandRows int) (entry jobJSON, shedErr error) {
 	// paremsp.JobKey owns the key normalization (default algorithm and
 	// connectivity, the band labeler for stats jobs, level zeroed for raw
 	// PBM), so client-side precomputed IDs match the server's.
@@ -291,12 +295,18 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 
 	// New job: decode the payload and admit it to the engine queue. The
 	// job's lifetime exceeds the HTTP request's, so it runs under the
-	// background context, and its completion callback runs on a goroutine
-	// that outlives this handler. Every transition targets this entry's
-	// generation, so if the job is deleted and recreated under the same ID
-	// these callbacks cannot touch the replacement.
+	// server-lifetime base context — not the request's, which dies when the
+	// 202 is written, and not Background, which a drain could never cancel —
+	// bounded by -job-timeout when configured. Its completion callback runs
+	// on a goroutine that outlives this handler. Every transition targets
+	// this entry's generation, so if the job is deleted and recreated under
+	// the same ID these callbacks cannot touch the replacement.
 	gen := j.Gen
 	onStart := func() { h.jobs.Start(id, gen) }
+	jctx, jcancel := h.baseCtx, context.CancelFunc(func() {})
+	if h.jobTimeout > 0 {
+		jctx, jcancel = context.WithTimeout(h.baseCtx, h.jobTimeout)
+	}
 	var (
 		sub           *Submitted
 		err           error
@@ -307,12 +317,13 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 	if kind == jobs.KindStats {
 		src, derr := pnm.NewBandReaderBytes(body, level)
 		if derr != nil {
+			jcancel()
 			h.jobs.Fail(id, gen, derr)
 			j, _ := h.jobs.Get(id)
 			return jobJSONFrom(j, false), nil
 		}
 		width, height = src.Width(), src.Height()
-		sub, err = h.engine.SubmitStats(context.Background(), src, band.Options{BandRows: bandRows}, onStart)
+		sub, err = h.engine.SubmitStats(jctx, src, band.Options{BandRows: bandRows, Ctx: jctx}, onStart)
 	} else {
 		br := bufio.NewReader(bytes.NewReader(body))
 		bkind, derr := bodyKind(ct, br)
@@ -321,13 +332,14 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 			if d, derr = h.decodeRaster(bkind, br, opt.Algorithm, level); derr == nil {
 				width, height, density = d.width, d.height, d.density
 				if d.bm != nil {
-					sub, err = h.engine.SubmitBitmap(context.Background(), d.bm, opt, onStart)
+					sub, err = h.engine.SubmitBitmap(jctx, d.bm, opt, onStart)
 				} else {
-					sub, err = h.engine.SubmitLabel(context.Background(), d.img, opt, onStart)
+					sub, err = h.engine.SubmitLabel(jctx, d.img, opt, onStart)
 				}
 			}
 		}
 		if derr != nil {
+			jcancel()
 			h.jobs.Fail(id, gen, derr)
 			j, _ := h.jobs.Get(id)
 			return jobJSONFrom(j, false), nil
@@ -338,6 +350,7 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 		// than removing it — a concurrent identical submission may already
 		// hold this ID, and a failed job is observable (then replaced on
 		// retry) where a vanished one would 404.
+		jcancel()
 		h.jobs.Fail(id, gen, err)
 		j, _ := h.jobs.Get(id)
 		return jobJSONFrom(j, false), err
@@ -347,8 +360,19 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 
 	go func() {
 		res, bres, werr := sub.Wait()
+		// Release the timeout timer only after the outcome is in: jctx must
+		// stay live while the job sits in the queue and runs.
+		jcancel()
 		if werr != nil {
-			h.jobs.Fail(id, gen, werr)
+			// A context error is a cancellation (client gave up via timeout,
+			// or the server drained), not a computation failure; land the
+			// job in the canceled terminal state so clients and metrics can
+			// tell the two apart. Resubmitting a canceled job re-runs it.
+			if errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded) {
+				h.jobs.Cancel(id, gen, werr)
+			} else {
+				h.jobs.Fail(id, gen, werr)
+			}
 			return
 		}
 		jr := &jobs.Result{Width: width, Height: height, Density: density, DecodeNs: decodeNs}
@@ -379,7 +403,7 @@ func (h *handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 // jobStatus handles GET /v1/jobs/{id}: the job's state, timestamps, queue
 // position at admission, and — once done — its dimensions and per-phase
 // timings.
-func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := h.jobs.Get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "unknown job", http.StatusNotFound)
@@ -393,7 +417,7 @@ func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 // stream; ?stats=false omits per-component statistics from JSON); done
 // stats jobs are JSON only. Any other state answers 409 with the status
 // body, so pollers can distinguish "not yet" from "never existed" (404).
-func (h *handler) jobResult(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) jobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := h.jobs.Get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "unknown job", http.StatusNotFound)
@@ -440,7 +464,7 @@ func (h *handler) jobResult(w http.ResponseWriter, r *http.Request) {
 // are dropped immediately instead of waiting for TTL eviction. Deleting a
 // queued or running job does not stop the computation, only discards its
 // outcome.
-func (h *handler) jobDelete(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) jobDelete(w http.ResponseWriter, r *http.Request) {
 	if !h.jobs.Remove(r.PathValue("id")) {
 		http.Error(w, "unknown job", http.StatusNotFound)
 		return

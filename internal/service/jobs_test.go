@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -125,7 +126,7 @@ func TestJobLifecycle(t *testing.T) {
 	eng, _, srv := newJobsServer(t, Config{Workers: 1, QueueDepth: 4, Threads: 1}, jobs.Options{TTL: time.Hour})
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	eng.run = func(img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
+	eng.run = func(ctx context.Context, img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
 		started <- struct{}{}
 		<-block
 		return paremsp.LabelInto(img, dst, sc, opt)
@@ -433,7 +434,7 @@ func TestJobResultNotReady(t *testing.T) {
 	eng, _, srv := newJobsServer(t, Config{Workers: 1, QueueDepth: 4, Threads: 1}, jobs.Options{TTL: time.Hour})
 	block := make(chan struct{})
 	started := make(chan struct{}, 4)
-	eng.run = func(img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
+	eng.run = func(ctx context.Context, img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
 		started <- struct{}{}
 		<-block
 		return paremsp.LabelInto(img, dst, sc, opt)
@@ -465,7 +466,7 @@ func TestJobQueueFullRetryAfter(t *testing.T) {
 	eng, store, srv := newJobsServer(t, Config{Workers: 1, QueueDepth: 1, Threads: 1}, jobs.Options{TTL: time.Hour})
 	block := make(chan struct{})
 	started := make(chan struct{}, 4)
-	eng.run = func(img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
+	eng.run = func(ctx context.Context, img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
 		started <- struct{}{}
 		<-block
 		return paremsp.LabelInto(img, dst, sc, opt)

@@ -1,0 +1,15 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any engine worker, job-completion goroutine
+// or drain waiter outlives the tests — the robustness features this package
+// grew (cancellation, drain, panic containment) are exactly the kind of code
+// that leaks goroutines when a path is missed.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -54,6 +54,7 @@ type metrics struct {
 	jobNs      atomic.Int64 // cumulative wall time of completed raster jobs (RetryAfter's mean)
 	jobsTimed  atomic.Int64 // completions accounted in jobNs (stream jobs excluded)
 	busyNs     atomic.Int64 // cumulative wall time workers spent on jobs, every kind and outcome
+	panics     atomic.Int64 // worker panics contained by recoverPanic
 
 	poolGets   [poolCount]atomic.Int64 // sync.Pool Gets per pool
 	poolMisses [poolCount]atomic.Int64 // Gets that had to allocate (pool New calls)
@@ -94,6 +95,7 @@ type Snapshot struct {
 	JobP50Ns   int64 `json:"job_latency_p50_ns"`
 	JobP95Ns   int64 `json:"job_latency_p95_ns"`
 	JobP99Ns   int64 `json:"job_latency_p99_ns"`
+	Panics     int64 `json:"worker_panics"`
 
 	BusyNs int64                   `json:"worker_busy_ns"`
 	Pools  [poolCount]PoolSnapshot `json:"pools"`
@@ -129,6 +131,7 @@ func (e *Engine) Snapshot() Snapshot {
 		JobP50Ns:   e.metrics.jobHist.quantile(0.50),
 		JobP95Ns:   e.metrics.jobHist.quantile(0.95),
 		JobP99Ns:   e.metrics.jobHist.quantile(0.99),
+		Panics:     e.metrics.panics.Load(),
 		BusyNs:     e.metrics.busyNs.Load(),
 		Pools:      pools,
 	}
@@ -221,6 +224,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"gauge", "job_latency_p50_ns", "Approximate median raster service time (log2-bucket upper bound).", s.JobP50Ns},
 		{"gauge", "job_latency_p95_ns", "Approximate 95th-percentile raster service time (log2-bucket upper bound).", s.JobP95Ns},
 		{"gauge", "job_latency_p99_ns", "Approximate 99th-percentile raster service time (log2-bucket upper bound).", s.JobP99Ns},
+		{"counter", "worker_panics_total", "Labeling panics contained by the worker's recover (the job failed, the worker survived, its buffers were quarantined).", s.Panics},
 		{"counter", "worker_busy_ns_total", "Cumulative wall time workers spent executing jobs (every kind and outcome); divide the rate by ccserve_workers for pool utilization.", s.BusyNs},
 		{"gauge", "workers_busy", "Workers executing a job right now.", s.InFlight},
 	})
@@ -256,6 +260,7 @@ func writeJobsMetrics(w io.Writer, c jobs.Counts) (int64, error) {
 		{"gauge", "jobs_running", "Async jobs running right now.", c.Running},
 		{"gauge", "jobs_done", "Finished async jobs whose results are retained.", c.Done},
 		{"gauge", "jobs_failed", "Failed async jobs retained for inspection.", c.Failed},
+		{"gauge", "jobs_canceled", "Canceled async jobs (client timeout, job timeout or server drain) retained for inspection.", c.Canceled},
 		{"gauge", "jobs_result_bytes", "Estimated memory pinned by retained job results.", c.ResultBytes},
 		{"counter", "jobs_submitted_total", "Async jobs created (dedup hits excluded).", c.Submitted},
 		{"counter", "jobs_dedup_hits_total", "Submissions answered by an existing identical job.", c.DedupHits},

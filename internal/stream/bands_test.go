@@ -2,6 +2,7 @@ package stream_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -66,7 +67,7 @@ func TestLabelBandsMatchesInMemory(t *testing.T) {
 				t.Fatal(err)
 			}
 			var out bytes.Buffer
-			res, err := stream.LabelBands(src, &memSeeker{}, &out, bandRows)
+			res, err := stream.LabelBands(context.Background(), src, &memSeeker{}, &out, bandRows)
 			if err != nil {
 				t.Fatalf("%s/band%d: %v", tc.name, bandRows, err)
 			}

@@ -35,6 +35,7 @@ package stream
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -190,7 +191,15 @@ func LabelPBM(r io.Reader, spill io.ReadWriteSeeker, out io.Writer) (int, error)
 //
 // bandRows selects the band height (0 = band.DefaultBandRows). Returns the
 // band labeler's result: component count plus per-component statistics.
-func LabelBands(src band.Source, spill io.ReadWriteSeeker, out io.Writer, bandRows int) (*band.Result, error) {
+//
+// ctx cancels the labeling cooperatively: the band pass checks it between
+// bands and the rewrite pass every 64 rows. Pass context.Background() (or
+// nil) to never cancel.
+func LabelBands(ctx context.Context, src band.Source, spill io.ReadWriteSeeker, out io.Writer, bandRows int) (*band.Result, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	w, h := src.Width(), src.Height()
 	sw := bufio.NewWriterSize(spill, 1<<16)
 	rowBytes := make([]byte, 4*w)
@@ -207,7 +216,7 @@ func LabelBands(src band.Source, spill io.ReadWriteSeeker, out io.Writer, bandRo
 		}
 		return nil
 	}
-	res, err := band.Stream(src, band.Options{BandRows: bandRows, EmitRow: emit})
+	res, err := band.Stream(src, band.Options{BandRows: bandRows, EmitRow: emit, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +232,13 @@ func LabelBands(src band.Source, spill io.ReadWriteSeeker, out io.Writer, bandRo
 		return nil, err
 	}
 	for y := 0; y < h; y++ {
+		if done != nil && y%64 == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		if _, err := io.ReadFull(sr, rowBytes); err != nil {
 			return nil, fmt.Errorf("stream: reading spill row %d: %w", y, err)
 		}

@@ -438,11 +438,21 @@ const (
 	JobStats  JobKind = jobs.KindStats
 )
 
-// JobStoreOptions sizes the service's asynchronous job store: the number of
-// mutex-sharded job maps, how long finished results are retained before the
-// background sweeper evicts them, and the sweep period. The zero value
-// selects 16 shards, a 15-minute TTL and a TTL/4 sweep.
+// JobStoreOptions configures the service's asynchronous job store: the
+// backend (Backend "memory" — the default — keeps everything in sharded
+// in-process maps; "sqlite" journals job metadata and persists result
+// blobs under Dir so finished jobs survive a restart and interrupted ones
+// are recovered), the number of mutex-sharded job maps, how long finished
+// results are retained before the background sweeper evicts them, and the
+// sweep period. The zero value selects the memory backend, 16 shards, a
+// 15-minute TTL and a TTL/4 sweep.
 type JobStoreOptions = jobs.Options
+
+// Job store backends for JobStoreOptions.Backend.
+const (
+	JobStoreMemory = jobs.BackendMemory
+	JobStoreSQLite = jobs.BackendSQLite
+)
 
 // JobKey derives the job API's deduplication key (which doubles as the job
 // ID) for a request tuple: the SHA-256 of the output kind, algorithm,

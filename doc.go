@@ -129,8 +129,33 @@
 // (JobStoreOptions: ccserve -job-shards, -job-ttl) until a background
 // sweeper evicts them TTL after completion; retained result memory is
 // additionally capped (-job-max-bytes, default 512 MiB) with oldest-first
-// overflow eviction. The JobState and JobKind types name the wire states
-// and kinds.
+// overflow eviction. Deleting a queued or running job cancels its
+// computation, releasing the pool worker. The JobState and JobKind types
+// name the wire states and kinds.
+//
+// # Job durability
+//
+// The job store has two backends behind one interface pair (job metadata
+// and result blobs). The default, ccserve -job-store=memory, keeps both in
+// process memory: fastest, nothing survives a restart, and -job-max-bytes
+// overflow evicts the oldest finished jobs. -job-store=sqlite (with
+// -job-dir) is the durable pair: job metadata is journaled to a
+// write-ahead log (a fsynced, crash-truncating JSONL journal — no SQLite
+// driver is linked; the name selects the durability semantics) and result
+// blobs plus pending inputs live as content-addressed files under
+// -job-dir, so -job-max-bytes overflow spills result payloads to disk
+// instead of evicting them.
+//
+// On startup with the durable backend, ccserve recovers before accepting
+// traffic: finished jobs come back with their results fetchable
+// byte-identical; jobs that were queued or running when the process died
+// (SIGKILL included) are resubmitted through the normal admission path and
+// run again; jobs whose persisted input is missing or whom the engine
+// refuses land in the canceled terminal state with a "recovery:" reason —
+// observable, and re-runnable by resubmitting. Metrics split the store's
+// footprint (ccserve_jobs_store_mem_bytes / ccserve_jobs_store_disk_bytes)
+// and count spills and recovery outcomes (ccserve_jobs_spilled_total,
+// ccserve_jobs_recovered_total, ccserve_jobs_recovery_canceled_total).
 //
 // # Operational guarantees
 //

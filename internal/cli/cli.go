@@ -363,6 +363,8 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "retain finished job results this long before eviction")
 	jobShards := fs.Int("job-shards", 0, "job store shard count (0 = 16)")
 	jobMaxBytes := fs.Int64("job-max-bytes", 0, "cap on retained job-result bytes; oldest results evicted beyond it (0 = 512 MiB)")
+	jobStore := fs.String("job-store", jobs.BackendMemory, "job store backend: memory (jobs lost on restart) or sqlite (durable journal + result blobs under -job-dir; results spill to disk instead of evicting)")
+	jobDir := fs.String("job-dir", "", "directory for the durable job store (required with -job-store=sqlite)")
 	reqTimeout := fs.Duration("request-timeout", 0, "cancel a synchronous labeling and answer 504 after this long (0 = no server-side timeout)")
 	jobTimeoutFlag := fs.Duration("job-timeout", 0, "cancel an async job that has not reached a terminal state after this long (0 = no timeout)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "on SIGTERM/SIGINT, wait this long for running jobs before force-canceling them")
@@ -401,6 +403,11 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccserve: -job-max-bytes must be >= 0")
 		return 2
 	}
+	durableStore := *jobStore != "" && *jobStore != jobs.BackendMemory
+	if *jobsOn && durableStore && *jobDir == "" {
+		fmt.Fprintf(stderr, "ccserve: -job-store=%s requires -job-dir\n", *jobStore)
+		return 2
+	}
 	if *reqTimeout < 0 || *jobTimeoutFlag < 0 {
 		fmt.Fprintln(stderr, "ccserve: -request-timeout and -job-timeout must be >= 0")
 		return 2
@@ -424,12 +431,18 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 
 	var store *jobs.Store
 	if *jobsOn {
-		store = jobs.NewStore(jobs.Options{
+		store, err = jobs.Open(jobs.Options{
+			Backend:        *jobStore,
+			Dir:            *jobDir,
 			Shards:         *jobShards,
 			TTL:            *jobTTL,
 			MaxResultBytes: *jobMaxBytes,
 			OnEvent:        jobEventLogger(logger),
 		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ccserve:", err)
+			return 2
+		}
 		defer store.Close()
 	}
 	eng := service.NewEngine(service.Config{
@@ -455,6 +468,13 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 		JobTimeout:       *jobTimeoutFlag,
 		BaseContext:      baseCtx,
 	})
+	// A durable store replayed its journal at Open; resubmit everything
+	// that was queued or running at the last shutdown before the listener
+	// accepts traffic, so recovered jobs queue ahead of new load.
+	if store != nil && store.Durable() {
+		requeued, canceled := handler.RecoverJobs()
+		logger.Info("job recovery complete", "requeued", requeued, "canceled", canceled)
+	}
 	srv := &http.Server{
 		Handler: handler,
 		// Streaming endpoints (/v1/stats) read the body on a pool worker, so
@@ -494,7 +514,7 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	go func() { errCh <- srv.Serve(ln) }()
 	jobsState := "off"
 	if store != nil {
-		jobsState = fmt.Sprintf("ttl %v", store.TTL())
+		jobsState = fmt.Sprintf("%s, ttl %v", *jobStore, store.TTL())
 	}
 	fmt.Fprintf(stdout, "ccserve: listening on %s (%d workers, queue %d, jobs %s)\n",
 		ln.Addr(), eng.Workers(), eng.QueueDepth(), jobsState)
@@ -513,9 +533,13 @@ func CCServe(args []string, stdout, stderr io.Writer) int {
 	}
 	if store != nil {
 		startAttrs = append(startAttrs,
+			slog.String("job_store", *jobStore),
 			slog.Duration("job_ttl", store.TTL()),
 			slog.Int("job_shards", *jobShards),
 			slog.Int64("job_max_bytes", *jobMaxBytes))
+		if durableStore {
+			startAttrs = append(startAttrs, slog.String("job_dir", *jobDir))
+		}
 	}
 	if debugLn != nil {
 		startAttrs = append(startAttrs, slog.String("debug_addr", debugLn.Addr().String()))

@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoBlob reports that a blob store holds no payload for the requested
+// job/generation — the job was evicted, removed, or never completed.
+var ErrNoBlob = errors.New("jobs: no stored result")
+
+// BlobStats is a blob store census. MemBytes counts payload bytes resident
+// in RAM, DiskBytes counts bytes on disk (results and retained inputs), and
+// Spilled counts results whose RAM copy was dropped under memory pressure
+// while the disk copy was kept.
+type BlobStats struct {
+	MemBytes  int64
+	DiskBytes int64
+	Spilled   int64
+}
+
+// BlobStore holds job result payloads and, on durable backends, the raw
+// request inputs needed to resubmit queued jobs after a restart. All methods
+// are safe for concurrent use. Payloads are keyed by (id, generation): a
+// resubmitted job writes under a new generation and never collides with a
+// stale one.
+type BlobStore interface {
+	// Put stores the result payload for (id, gen), replacing any previous
+	// payload under the same key.
+	Put(id string, gen uint64, r *Result) error
+	// Open returns the payload for (id, gen), reading it back from disk if
+	// the RAM copy was spilled. ErrNoBlob if absent.
+	Open(id string, gen uint64) (*Result, error)
+	// Delete drops the payload (RAM and disk). Unknown keys are a no-op.
+	Delete(id string, gen uint64)
+
+	// PutInput persists the raw request body so the job can be resubmitted
+	// after a restart; in-memory backends may discard it (a process restart
+	// loses the store anyway).
+	PutInput(id string, gen uint64, data []byte) error
+	// Input returns the persisted request body, ErrNoBlob if absent.
+	Input(id string, gen uint64) ([]byte, error)
+	// DeleteInput drops the persisted request body.
+	DeleteInput(id string, gen uint64)
+
+	// Shed reduces resident payload memory to at most target bytes without
+	// losing payloads, returning the bytes released. Backends that cannot
+	// spill (memory) return 0, signalling the caller to fall back to entry
+	// eviction.
+	Shed(target int64) int64
+	// Stats reports the byte census.
+	Stats() BlobStats
+	// Close releases backend resources.
+	Close() error
+}
+
+// memBlobs keeps result payloads as live pointers in a mutex-guarded map.
+// It cannot spill — Shed always returns 0 — so the Store façade bounds its
+// memory by evicting whole entries, exactly the pre-refactor behaviour.
+type memBlobs struct {
+	mu       sync.Mutex
+	results  map[string]memBlob
+	memBytes int64
+}
+
+type memBlob struct {
+	gen  uint64
+	r    *Result
+	size int64
+}
+
+func newMemBlobs() *memBlobs {
+	return &memBlobs{results: make(map[string]memBlob)}
+}
+
+func (b *memBlobs) Put(id string, gen uint64, r *Result) error {
+	size := resultBytes(r)
+	b.mu.Lock()
+	if old, ok := b.results[id]; ok {
+		b.memBytes -= old.size
+	}
+	b.results[id] = memBlob{gen: gen, r: r, size: size}
+	b.memBytes += size
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memBlobs) Open(id string, gen uint64) (*Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bl, ok := b.results[id]; ok && bl.gen == gen {
+		return bl.r, nil
+	}
+	return nil, ErrNoBlob
+}
+
+func (b *memBlobs) Delete(id string, gen uint64) {
+	b.mu.Lock()
+	if bl, ok := b.results[id]; ok && bl.gen == gen {
+		b.memBytes -= bl.size
+		delete(b.results, id)
+	}
+	b.mu.Unlock()
+}
+
+// PutInput is a no-op: the memory backend cannot outlive the process, so
+// there is never a restart to resubmit for.
+func (b *memBlobs) PutInput(string, uint64, []byte) error { return nil }
+
+func (b *memBlobs) Input(string, uint64) ([]byte, error) { return nil, ErrNoBlob }
+
+func (b *memBlobs) DeleteInput(string, uint64) {}
+
+func (b *memBlobs) Shed(int64) int64 { return 0 }
+
+func (b *memBlobs) Stats() BlobStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BlobStats{MemBytes: b.memBytes}
+}
+
+func (b *memBlobs) Close() error { return nil }

@@ -1,0 +1,342 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	resExt = ".res"
+	inExt  = ".in"
+	// blobMagic versions the on-disk result encoding; a format change bumps
+	// it and old files simply fail to open (the job is then re-runnable).
+	blobMagic = "ccblob1\n"
+)
+
+// fsBlobs is the durable BlobStore: every payload is written through to a
+// flat directory of content-addressed files (`<job-id>-<gen>.res` for gob-
+// encoded results, `<job-id>-<gen>.in` for raw request inputs) with a
+// temp-file + rename + fsync protocol, while completed results also stay
+// resident in RAM for zero-copy serving. Under MaxResultBytes pressure the
+// Store façade calls Shed, which drops resident copies oldest-first — the
+// disk copy remains authoritative, so unlike the memory backend nothing is
+// lost, only re-read on the next fetch.
+type fsBlobs struct {
+	dir string
+
+	mu      sync.Mutex
+	results map[string]*fsBlob
+	inputs  map[string]fsInput
+	// order records Put order for FIFO shedding; stale ids (deleted or
+	// re-put) are skipped and periodically compacted away.
+	order     []string
+	memBytes  int64
+	diskBytes int64
+	spilled   int64
+}
+
+type fsBlob struct {
+	gen      uint64
+	r        *Result // resident copy; nil once spilled
+	memSize  int64
+	diskSize int64
+}
+
+type fsInput struct {
+	gen  uint64
+	size int64
+}
+
+// openFSBlobs creates/opens the blob directory. The directory is scanned and
+// reconciled against live metadata by the Store's Open, not here.
+func openFSBlobs(dir string) (*fsBlobs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: blob dir: %w", err)
+	}
+	return &fsBlobs{
+		dir:     dir,
+		results: make(map[string]*fsBlob),
+		inputs:  make(map[string]fsInput),
+	}, nil
+}
+
+func (b *fsBlobs) resPath(id string, gen uint64) string {
+	return filepath.Join(b.dir, id+"-"+strconv.FormatUint(gen, 10)+resExt)
+}
+
+func (b *fsBlobs) inPath(id string, gen uint64) string {
+	return filepath.Join(b.dir, id+"-"+strconv.FormatUint(gen, 10)+inExt)
+}
+
+// parseBlobName splits "<id>-<gen>.<ext>"; ok=false for foreign files.
+func parseBlobName(name string) (id string, gen uint64, isInput, ok bool) {
+	switch {
+	case strings.HasSuffix(name, resExt):
+		name = strings.TrimSuffix(name, resExt)
+	case strings.HasSuffix(name, inExt):
+		name = strings.TrimSuffix(name, inExt)
+		isInput = true
+	default:
+		return "", 0, false, false
+	}
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return "", 0, false, false
+	}
+	gen, err := strconv.ParseUint(name[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false, false
+	}
+	return name[:i], gen, isInput, true
+}
+
+// reconcile scans the directory once at open: files matching a live
+// (id, gen) from replayed metadata are adopted into the byte accounting
+// (results start spilled — no RAM copy until first read); everything else
+// is an orphan from a crash window and is deleted.
+func (b *fsBlobs) reconcile(keepRes, keepIn map[string]uint64) error {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return fmt.Errorf("jobs: blob scan: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		id, gen, isInput, ok := parseBlobName(name)
+		live := false
+		if ok {
+			keep := keepRes
+			if isInput {
+				keep = keepIn
+			}
+			want, present := keep[id]
+			live = present && want == gen
+		}
+		if !live {
+			os.Remove(filepath.Join(b.dir, name))
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		if isInput {
+			b.inputs[id] = fsInput{gen: gen, size: info.Size()}
+		} else {
+			b.results[id] = &fsBlob{gen: gen, diskSize: info.Size()}
+		}
+		b.diskBytes += info.Size()
+	}
+	return nil
+}
+
+// writeFile writes data atomically: temp file in the same directory, fsync,
+// rename over the final name. A crash leaves either the old file or the new
+// one, never a torn blob; stray temp files are swept by reconcile.
+func (b *fsBlobs) writeFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(b.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+func (b *fsBlobs) Put(id string, gen uint64, r *Result) error {
+	data, err := encodeResult(r)
+	if err != nil {
+		return err
+	}
+	if err := b.writeFile(b.resPath(id, gen), data); err != nil {
+		return err
+	}
+	memSize := resultBytes(r)
+	diskSize := int64(len(data))
+	b.mu.Lock()
+	if old, ok := b.results[id]; ok {
+		b.memBytes -= old.memSize
+		b.diskBytes -= old.diskSize
+		if old.gen != gen {
+			os.Remove(b.resPath(id, old.gen))
+		}
+	}
+	b.results[id] = &fsBlob{gen: gen, r: r, memSize: memSize, diskSize: diskSize}
+	b.order = append(b.order, id)
+	b.memBytes += memSize
+	b.diskBytes += diskSize
+	b.compactOrderLocked()
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *fsBlobs) Open(id string, gen uint64) (*Result, error) {
+	b.mu.Lock()
+	bl, ok := b.results[id]
+	if !ok || bl.gen != gen {
+		b.mu.Unlock()
+		return nil, ErrNoBlob
+	}
+	if bl.r != nil {
+		r := bl.r
+		b.mu.Unlock()
+		return r, nil
+	}
+	path := b.resPath(id, gen)
+	b.mu.Unlock()
+	// Spilled: decode from disk outside the lock. The copy is not re-admitted
+	// to RAM — re-admission under byte pressure would just be shed again.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ErrNoBlob
+	}
+	return decodeResult(data)
+}
+
+func (b *fsBlobs) Delete(id string, gen uint64) {
+	b.mu.Lock()
+	if bl, ok := b.results[id]; ok && bl.gen == gen {
+		b.memBytes -= bl.memSize
+		b.diskBytes -= bl.diskSize
+		delete(b.results, id)
+	}
+	b.mu.Unlock()
+	os.Remove(b.resPath(id, gen))
+}
+
+func (b *fsBlobs) PutInput(id string, gen uint64, data []byte) error {
+	if err := b.writeFile(b.inPath(id, gen), data); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if old, ok := b.inputs[id]; ok {
+		b.diskBytes -= old.size
+		if old.gen != gen {
+			os.Remove(b.inPath(id, old.gen))
+		}
+	}
+	b.inputs[id] = fsInput{gen: gen, size: int64(len(data))}
+	b.diskBytes += int64(len(data))
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *fsBlobs) Input(id string, gen uint64) ([]byte, error) {
+	b.mu.Lock()
+	in, ok := b.inputs[id]
+	b.mu.Unlock()
+	if !ok || in.gen != gen {
+		return nil, ErrNoBlob
+	}
+	data, err := os.ReadFile(b.inPath(id, gen))
+	if err != nil {
+		return nil, ErrNoBlob
+	}
+	return data, nil
+}
+
+func (b *fsBlobs) DeleteInput(id string, gen uint64) {
+	b.mu.Lock()
+	if in, ok := b.inputs[id]; ok && in.gen == gen {
+		b.diskBytes -= in.size
+		delete(b.inputs, id)
+	}
+	b.mu.Unlock()
+	os.Remove(b.inPath(id, gen))
+}
+
+// Shed drops resident result copies oldest-first until resident payload
+// memory is at most target. Disk copies are untouched, so this is the spill
+// (not evict) half of the MaxResultBytes policy: the job stays done and its
+// result stays fetchable, only colder.
+func (b *fsBlobs) Shed(target int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	released := int64(0)
+	for i := 0; i < len(b.order) && b.memBytes > target; i++ {
+		id := b.order[i]
+		bl, ok := b.results[id]
+		if !ok || bl.r == nil {
+			continue
+		}
+		bl.r = nil
+		b.memBytes -= bl.memSize
+		released += bl.memSize
+		bl.memSize = 0
+		b.spilled++
+	}
+	b.compactOrderLocked()
+	return released
+}
+
+// compactOrderLocked rebuilds the shed queue when stale entries dominate.
+func (b *fsBlobs) compactOrderLocked() {
+	if len(b.order) <= 2*len(b.results)+16 {
+		return
+	}
+	live := b.order[:0]
+	for _, id := range b.order {
+		if bl, ok := b.results[id]; ok && bl.r != nil {
+			live = append(live, id)
+		}
+	}
+	b.order = live
+}
+
+func (b *fsBlobs) Stats() BlobStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BlobStats{MemBytes: b.memBytes, DiskBytes: b.diskBytes, Spilled: b.spilled}
+}
+
+func (b *fsBlobs) Close() error { return nil }
+
+// encodeResult serializes a result payload: a magic/version line followed by
+// the gob stream. Unexported fields (band.Result's internal relabeling
+// scratch) are not encoded; nothing served over the job API needs them.
+func encodeResult(r *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(blobMagic)
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("jobs: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeResult(data []byte) (*Result, error) {
+	if !bytes.HasPrefix(data, []byte(blobMagic)) {
+		return nil, fmt.Errorf("jobs: result blob: bad magic")
+	}
+	var r Result
+	if err := gob.NewDecoder(bytes.NewReader(data[len(blobMagic):])).Decode(&r); err != nil {
+		return nil, fmt.Errorf("jobs: decode result: %w", err)
+	}
+	return &r, nil
+}

@@ -1,6 +1,9 @@
 // Package jobs implements the asynchronous batch-job subsystem of the
-// labeling service: a sharded in-memory store of submitted labelings with
-// content-hash deduplication and TTL eviction of finished results.
+// labeling service: a store of submitted labelings with content-hash
+// deduplication, TTL eviction of finished results, and pluggable backends
+// behind two narrow interfaces — MetaStore for generation-aware job
+// metadata and BlobStore for result payloads (and, on durable backends, the
+// persisted request inputs that make restart recovery possible).
 //
 // A job's ID is the SHA-256 of its request tuple — input bytes, algorithm,
 // connectivity, binarization level and output kind (see Key) — so the ID
@@ -11,14 +14,25 @@
 // background sweeper goroutine; a Get after the deadline evicts lazily, so
 // expiry is observable without waiting for the next sweep tick. Queued and
 // running jobs are never evicted.
+//
+// Two backends exist. BackendMemory (the default) keeps everything in
+// sharded in-process maps: fastest, lost on restart, and MaxResultBytes
+// overflow must evict finished jobs. BackendSQLite keeps metadata in a
+// WAL-journaled file and result payloads in a content-addressed blob
+// directory: a SIGKILL'd process reopens the store, serves every finished
+// result byte-identical, and resubmits interrupted jobs (see Recover);
+// MaxResultBytes overflow spills RAM copies to disk instead of evicting.
 package jobs
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,8 +56,9 @@ const (
 	StateDone    State = "done"
 	StateFailed  State = "failed"
 	// StateCanceled marks a job whose context was canceled before it
-	// completed — client timeout, -job-timeout, or server drain. Like
-	// failed, a canceled job is replaced on resubmission.
+	// completed — client timeout, -job-timeout, server drain, DELETE of a
+	// queued/running job, or durable-store recovery that could not resubmit
+	// it. Like failed, a canceled job is replaced on resubmission.
 	StateCanceled State = "canceled"
 )
 
@@ -62,9 +77,34 @@ const (
 	KindStats  Kind = "stats"
 )
 
+// ResultInfo is the small summary of a finished result that lives with the
+// job metadata (and is journaled by the durable backend), so job status can
+// be served without touching the payload blob.
+type ResultInfo struct {
+	// NumComponents, Width, Height and Density describe the labeled image
+	// for either kind.
+	NumComponents int     `json:"nc,omitempty"`
+	Width         int     `json:"w,omitempty"`
+	Height        int     `json:"h,omitempty"`
+	Density       float64 `json:"density,omitempty"`
+	// BandRows is the band height a KindStats job streamed with (0 = the
+	// default); execution detail only, deliberately outside the dedup key.
+	BandRows int `json:"band_rows,omitempty"`
+	// DecodeNs is how long the submission spent decoding the input before
+	// the job was admitted; surfaced in the status trace, outside the
+	// dedup key like BandRows.
+	DecodeNs int64 `json:"decode_ns,omitempty"`
+	// Phases holds per-phase times when the parallel algorithms produced
+	// the labeling; zero otherwise.
+	Phases core.PhaseTimes `json:"phases,omitempty"`
+}
+
 // Result is a finished job's payload. Exactly one of Labels and Stats is
-// set, matching the job's Kind; both are immutable once stored.
+// set, matching the job's Kind; both are immutable once stored. The
+// embedded ResultInfo summary is also copied into Job.Info at completion.
 type Result struct {
+	ResultInfo
+
 	// Labels is the label raster of a KindLabels job.
 	Labels *binimg.LabelMap
 	// Components caches a KindLabels job's per-component statistics,
@@ -73,27 +113,27 @@ type Result struct {
 	Components []stats.Component
 	// Stats is the streaming statistics of a KindStats job.
 	Stats *band.Result
+}
 
-	// NumComponents, Width, Height and Density describe the labeled image
-	// for either kind.
-	NumComponents int
-	Width, Height int
-	Density       float64
-	// BandRows is the band height a KindStats job streamed with (0 = the
-	// default); execution detail only, deliberately outside the dedup key.
-	BandRows int
-	// DecodeNs is how long the submission spent decoding the input before
-	// the job was admitted; surfaced in the status trace, outside the
-	// dedup key like BandRows.
-	DecodeNs int64
-	// Phases holds per-phase times when the parallel algorithms produced
-	// the labeling; zero otherwise.
-	Phases core.PhaseTimes
+// Params captures how to re-run a submission: everything the service needs
+// besides the raw input bytes to decode and resubmit the job. The durable
+// backend journals it at creation so queued jobs survive a restart.
+type Params struct {
+	// Alg, Conn and Level are part of the dedup key (see Key).
+	Alg   string  `json:"alg,omitempty"`
+	Conn  int     `json:"conn,omitempty"`
+	Level float64 `json:"level,omitempty"`
+	// Threads and BandRows are execution knobs outside the dedup key.
+	Threads  int `json:"threads,omitempty"`
+	BandRows int `json:"band_rows,omitempty"`
+	// ContentType is the submitted body's media type, needed to pick the
+	// decoder again on recovery.
+	ContentType string `json:"content_type,omitempty"`
 }
 
 // Job is a point-in-time snapshot of one stored job. Get and CreateOrGet
-// return copies, so fields never change under the caller; Result is shared
-// but immutable once the job is done.
+// return copies, so fields never change under the caller. The result
+// payload itself is not part of the snapshot — fetch it with Store.Result.
 type Job struct {
 	// ID is the job's content-hash identifier (see Key).
 	ID string
@@ -109,16 +149,18 @@ type Job struct {
 	// QueuePos is the approximate engine queue length (including this job)
 	// when the job was admitted; 0 before admission completes.
 	QueuePos int
-	// Err is the failure reason of a failed job.
+	// Err is the failure reason of a failed or canceled job.
 	Err string
+	// Params is the submission tuple needed to re-run the job.
+	Params Params
 	// Created, Started and Finished are the transition times; Started and
 	// Finished are zero until the job reaches the corresponding state.
 	Created, Started, Finished time.Time
 	// ExpiresAt is when the sweeper may evict the job; zero while the job
 	// is queued or running.
 	ExpiresAt time.Time
-	// Result is the payload of a done job, nil otherwise.
-	Result *Result
+	// Info summarizes the result of a done job, nil otherwise.
+	Info *ResultInfo
 }
 
 // Key derives a job ID from the request tuple: the output kind, the
@@ -168,8 +210,30 @@ const (
 	EventEvicted   = "evicted"
 )
 
+// Backend selectors for Options.Backend.
+const (
+	// BackendMemory keeps everything in process memory (the default).
+	BackendMemory = "memory"
+	// BackendSQLite selects the durable backend: job metadata in a
+	// WAL-journaled single-file store under Options.Dir, result payloads
+	// and pending inputs in a content-addressed blob directory beside it.
+	// The module builds with zero third-party dependencies, so no SQLite
+	// driver is linked — the embedded journal provides the same durability
+	// contract (fsynced ordered writes, crash recovery by replay), and the
+	// name matches the ccserve -job-store=sqlite flag.
+	BackendSQLite = "sqlite"
+	// BackendDisk is an alias for BackendSQLite.
+	BackendDisk = "disk"
+)
+
 // Options sizes a Store.
 type Options struct {
+	// Backend selects the storage backend: BackendMemory ("" or "memory")
+	// or BackendSQLite ("sqlite"/"disk", durable; requires Dir).
+	Backend string
+	// Dir is the durable backend's directory: a meta.wal journal plus a
+	// blobs/ subdirectory. Ignored by the memory backend.
+	Dir string
 	// Shards is the number of mutex-sharded job maps. 0 selects 16.
 	Shards int
 	// TTL is how long finished jobs (and their results) are retained.
@@ -178,14 +242,28 @@ type Options struct {
 	// SweepEvery is the background sweeper's period. 0 selects TTL/4,
 	// clamped to [100ms, 1m].
 	SweepEvery time.Duration
-	// MaxResultBytes caps the total bytes the store retains: result
-	// payloads (label rasters dominate at 4 bytes per pixel) plus a fixed
-	// per-entry overhead, so floods of tiny or failed jobs are bounded
-	// too, not just large results. When a transition pushes the total
-	// over the cap, the oldest finished jobs are evicted down to a low
-	//-water mark, so the store stays bounded even under a stream of
-	// distinct (non-dedupable) submissions that TTL alone would retain
-	// for minutes. 0 selects 512 MiB.
+	// MaxResultBytes caps the bytes the store keeps resident in memory:
+	// result payloads (label rasters dominate at 4 bytes per pixel) plus a
+	// fixed per-entry overhead, so floods of tiny or failed jobs are
+	// bounded too, not just large results. 0 selects 512 MiB.
+	//
+	// When a transition pushes the total over the cap, the durable backend
+	// first spills result payloads to disk (oldest first, down to a 90%
+	// low-water mark) — nothing is lost, spilled results are re-read on
+	// fetch. The memory backend has nowhere to spill, so it evicts the
+	// oldest finished jobs instead, always sparing the most recently
+	// finished one so the submission that triggered the overflow still
+	// serves its result at least once.
+	//
+	// The memory bound is therefore NOT a hard cap. Precisely: after an
+	// eviction pass, resident bytes ≤ 0.9·MaxResultBytes + the size of the
+	// single most recently finished result + entryOverheadBytes for every
+	// live (queued/running) job, which eviction never touches. One result
+	// larger than the cap pins memory above the cap until a newer result
+	// finishes (the next pass then evicts it) or its TTL lapses. On the
+	// durable backend the exemption does not apply — the newest result's
+	// RAM copy is spilled like any other, so resident payload bytes drop
+	// all the way to the target.
 	MaxResultBytes int64
 	// OnEvent, when non-nil, is called — outside the store's locks, on
 	// whatever goroutine drove the transition — for every job lifecycle
@@ -207,64 +285,96 @@ type Counts struct {
 	Submitted                               int64
 	DedupHits                               int64
 	Evicted                                 int64
-	// ResultBytes is the estimated memory currently pinned by retained
-	// results (bounded by Options.MaxResultBytes plus one result).
+	// ResultBytes is the estimated memory currently resident: entry
+	// overhead plus RAM result payloads (see Options.MaxResultBytes for
+	// the precise bound).
 	ResultBytes int64
+	// DiskBytes is the durable backend's on-disk payload footprint
+	// (result blobs + pending inputs); 0 on the memory backend.
+	DiskBytes int64
+	// Spilled counts results whose RAM copy was dropped under byte
+	// pressure while the disk copy was kept (durable backend only).
+	Spilled int64
+	// Recovered and RecoveryCanceled count the startup-recovery outcomes:
+	// interrupted jobs successfully resubmitted vs. canceled because their
+	// input was lost or resubmission failed.
+	Recovered, RecoveryCanceled int64
 }
 
-// entry is the store's mutable record behind the Job snapshots. size is
-// the retained-byte accounting of the entry's result (0 until done).
-type entry struct {
-	job  Job
-	size int64
-}
-
-type shard struct {
-	mu   sync.Mutex
-	jobs map[string]*entry
-}
-
-// Store keeps jobs in N mutex-sharded maps keyed by job ID. All methods are
-// safe for concurrent use; NewStore starts the TTL sweeper and Close stops
-// it (the store itself remains usable after Close, only eviction becomes
-// lazy).
+// Store is the job store façade: it owns the clock, TTL policy, sweeper
+// goroutine, event emission, byte-cap policy and the cancel registry, and
+// delegates record keeping to a MetaStore and payload keeping to a
+// BlobStore. All methods are safe for concurrent use; Open/NewStore start
+// the TTL sweeper and Close stops it (the store itself remains usable after
+// Close, only eviction becomes lazy).
 type Store struct {
-	shards   []shard
+	meta    MetaStore
+	blobs   BlobStore
+	durable bool
+
 	ttl      time.Duration
 	maxBytes int64
 	onEvent  func(Event)
 
-	// retained is the total result bytes currently held across shards.
-	retained atomic.Int64
-	// gen issues Job.Gen values.
-	gen atomic.Uint64
+	submitted        atomic.Int64
+	dedupHits        atomic.Int64
+	evicted          atomic.Int64
+	recovered        atomic.Int64
+	recoveryCanceled atomic.Int64
 
-	submitted atomic.Int64
-	dedupHits atomic.Int64
-	evicted   atomic.Int64
+	// cancels maps job ID → the in-flight computation's context cancel, so
+	// Remove can release the worker promptly instead of letting the doomed
+	// computation run to a generation-check no-op.
+	cancelMu sync.Mutex
+	cancels  map[string]cancelReg
 
-	// Per-state gauges, maintained at every transition (always under the
-	// owning shard's lock) so Counts never scans the shards — a /metrics
-	// scrape must not stall submissions behind an O(jobs) walk.
-	queued, running, done, failed, canceled atomic.Int64
+	// evictRaceHook, when non-nil, runs between candidate ranking and each
+	// eviction attempt; tests use it to race a resubmission against the
+	// stale snapshot.
+	evictRaceHook func(id string)
 
-	// now is the clock, injected via newStore so tests drive TTL expiry.
+	// now is the clock, injected via open so tests drive TTL expiry.
 	now func() time.Time
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	swept    sync.WaitGroup
+	closed   atomic.Bool
 }
 
-// NewStore builds a store per opt and starts its sweeper goroutine.
+type cancelReg struct {
+	gen    uint64
+	cancel context.CancelFunc
+}
+
+// NewStore builds a memory-backed store per opt and starts its sweeper
+// goroutine. It panics if opt selects a non-memory backend — those can fail
+// to open, so use Open for backend-selected construction.
 func NewStore(opt Options) *Store {
-	return newStore(opt, time.Now)
+	if opt.Backend != "" && opt.Backend != BackendMemory {
+		panic("jobs: NewStore is memory-only; use Open for durable backends")
+	}
+	s, err := open(opt, time.Now)
+	if err != nil {
+		// Unreachable: the memory backend has no failure modes.
+		panic(err)
+	}
+	return s
 }
 
-// newStore is NewStore with an injectable clock; the clock must be set
-// before the sweeper goroutine starts, so tests use this instead of
-// overwriting the field afterwards.
-func newStore(opt Options, now func() time.Time) *Store {
+// Open builds a store per opt — memory or durable according to opt.Backend
+// — and starts its sweeper goroutine. Opening the durable backend replays
+// the journal: finished jobs come back finished with their results
+// fetchable, interrupted (queued or running) jobs come back queued awaiting
+// Recover, and expired or orphaned state is dropped.
+func Open(opt Options) (*Store, error) {
+	return open(opt, time.Now)
+}
+
+// open is Open with an injectable clock; the clock must be set before the
+// sweeper goroutine starts, so tests use this instead of overwriting the
+// field afterwards.
+func open(opt Options, now func() time.Time) (*Store, error) {
 	n := opt.Shards
 	if n <= 0 {
 		n = 16
@@ -288,70 +398,87 @@ func newStore(opt Options, now func() time.Time) *Store {
 		maxBytes = 512 << 20
 	}
 	s := &Store{
-		shards:   make([]shard, n),
+		durable:  false,
 		ttl:      ttl,
 		maxBytes: maxBytes,
 		onEvent:  opt.OnEvent,
+		cancels:  make(map[string]cancelReg),
 		now:      now,
 		stop:     make(chan struct{}),
 	}
-	for i := range s.shards {
-		s.shards[i].jobs = make(map[string]*entry)
+	switch opt.Backend {
+	case "", BackendMemory:
+		s.meta = newMemMeta(n)
+		s.blobs = newMemBlobs()
+	case BackendSQLite, BackendDisk:
+		if opt.Dir == "" {
+			return nil, fmt.Errorf("jobs: backend %q requires Options.Dir", opt.Backend)
+		}
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: create store dir: %w", err)
+		}
+		dm, err := openDurMeta(filepath.Join(opt.Dir, "meta.wal"), n, now())
+		if err != nil {
+			return nil, err
+		}
+		fb, err := openFSBlobs(filepath.Join(opt.Dir, "blobs"))
+		if err != nil {
+			dm.Close()
+			return nil, err
+		}
+		// Adopt exactly the blobs the replayed metadata still references
+		// (results of done jobs, inputs of interrupted ones); everything
+		// else on disk is an orphan from a crash window.
+		keepRes := make(map[string]uint64)
+		keepIn := make(map[string]uint64)
+		for _, j := range dm.mem.snapshot(func(*Job) bool { return true }) {
+			switch j.State {
+			case StateDone:
+				keepRes[j.ID] = j.Gen
+			case StateQueued:
+				keepIn[j.ID] = j.Gen
+			}
+		}
+		if err := fb.reconcile(keepRes, keepIn); err != nil {
+			dm.Close()
+			return nil, err
+		}
+		s.meta = dm
+		s.blobs = fb
+		s.durable = true
+	default:
+		return nil, fmt.Errorf("jobs: unknown backend %q", opt.Backend)
 	}
 	s.swept.Add(1)
 	go s.sweeper(sweep)
-	return s
+	return s, nil
 }
 
-// Close stops the background sweeper. It does not drop stored jobs; Get
-// still evicts expired ones lazily.
+// Close stops the background sweeper and releases backend resources. It
+// does not drop stored jobs; Get still evicts expired ones lazily, and the
+// durable backend's state remains on disk for the next Open. Mutations
+// arriving after Close — typically terminal transitions from job
+// goroutines still unwinding during shutdown — are no-ops: on the durable
+// backend their journal records and blob deletions could no longer be
+// applied consistently, and the next Open recovers those jobs instead.
 func (s *Store) Close() {
+	s.closed.Store(true)
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.swept.Wait()
+	s.meta.Close()
+	s.blobs.Close()
 }
 
 // TTL returns the store's retention for finished jobs.
 func (s *Store) TTL() time.Duration { return s.ttl }
 
-func (s *Store) shardFor(id string) *shard {
-	// Inline FNV-1a: shardFor runs on every store operation and the
-	// hash.Hash32 from fnv.New32a would heap-allocate each time.
-	h := uint32(2166136261)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= 16777619
-	}
-	return &s.shards[h%uint32(len(s.shards))]
-}
-
-func (s *Store) stateGauge(st State) *atomic.Int64 {
-	switch st {
-	case StateQueued:
-		return &s.queued
-	case StateRunning:
-		return &s.running
-	case StateDone:
-		return &s.done
-	case StateCanceled:
-		return &s.canceled
-	default:
-		return &s.failed
-	}
-}
-
-// shift accounts one job moving between states; "" means created/removed.
-func (s *Store) shift(from, to State) {
-	if from != "" {
-		s.stateGauge(from).Add(-1)
-	}
-	if to != "" {
-		s.stateGauge(to).Add(1)
-	}
-}
+// Durable reports whether the store survives a process restart (and so
+// whether Recover has anything to do).
+func (s *Store) Durable() bool { return s.durable }
 
 // emit delivers ev to the OnEvent hook. Every call site fires after the
-// owning shard's lock is released, so a hook that re-enters the store
-// cannot deadlock; nil-hook stores pay one branch.
+// backend's locks are released, so a hook that re-enters the store cannot
+// deadlock; nil-hook stores pay one branch.
 func (s *Store) emit(ev Event) {
 	if s.onEvent != nil {
 		s.onEvent(ev)
@@ -363,12 +490,10 @@ func evictedEvent(j *Job) Event {
 	return Event{Type: EventEvicted, ID: j.ID, Kind: j.Kind, Err: j.Err}
 }
 
-// dropLocked removes the already-looked-up entry from sh, which the caller
-// holds locked, unwinding its gauge and retained-byte accounting.
-func (s *Store) dropLocked(sh *shard, id string, e *entry) {
-	delete(sh.jobs, id)
-	s.retained.Add(-e.size)
-	s.shift(e.job.State, "")
+// dropBlobs releases a dropped job's payloads (result and pending input).
+func (s *Store) dropBlobs(j *Job) {
+	s.blobs.Delete(j.ID, j.Gen)
+	s.blobs.DeleteInput(j.ID, j.Gen)
 }
 
 // resultBytes estimates how much memory a retained result pins: the label
@@ -389,73 +514,59 @@ func resultBytes(r *Result) int64 {
 	return n
 }
 
+// memBytes is the resident-byte census the cap polices: per-entry overhead
+// plus RAM result payloads.
+func (s *Store) memBytes() int64 {
+	return int64(s.meta.Len())*entryOverheadBytes + s.blobs.Stats().MemBytes
+}
+
 // CreateOrGet is the dedup gate: if a live job with this ID exists, it
 // returns that job's snapshot and existed=true (a dedup hit — queued,
 // running and done jobs all count). Otherwise it creates a fresh queued job
 // and returns existed=false; a failed, canceled or expired job under the
-// same ID is replaced rather than returned, so clients can retry.
-func (s *Store) CreateOrGet(id string, kind Kind) (Job, bool) {
-	sh := s.shardFor(id)
+// same ID is replaced rather than returned, so clients can retry. The input
+// bytes are persisted by durable backends so the job can be resubmitted
+// after a restart; the memory backend discards them.
+func (s *Store) CreateOrGet(id string, kind Kind, p Params, input []byte) (Job, bool) {
 	now := s.now()
-	var events [2]Event
-	nev := 0
-	sh.mu.Lock()
-	if e, ok := sh.jobs[id]; ok {
-		expired := !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt)
-		retryable := e.job.State == StateFailed || e.job.State == StateCanceled
-		if !retryable && !expired {
-			s.dedupHits.Add(1)
-			j := e.job
-			sh.mu.Unlock()
-			s.emit(Event{Type: EventDedup, ID: j.ID, Kind: j.Kind})
-			return j, true
-		}
-		if expired {
+	j, existed, replaced := s.meta.CreateOrGet(id, kind, p, now)
+	if existed {
+		s.dedupHits.Add(1)
+		s.emit(Event{Type: EventDedup, ID: j.ID, Kind: j.Kind})
+		return j, true
+	}
+	if replaced != nil {
+		s.dropBlobs(replaced)
+		if !replaced.ExpiresAt.IsZero() && now.After(replaced.ExpiresAt) {
 			s.evicted.Add(1)
-			events[nev] = evictedEvent(&e.job)
-			nev++
+			s.emit(evictedEvent(replaced))
 		}
-		// Failed, canceled or expired: drop it and replace with a fresh job.
-		s.dropLocked(sh, id, e)
 	}
-	e := &entry{
-		job:  Job{ID: id, Gen: s.gen.Add(1), Kind: kind, State: StateQueued, Created: now},
-		size: entryOverheadBytes,
+	if len(input) > 0 {
+		// Best effort: if the input cannot be persisted the job still runs
+		// now; it just cannot be resubmitted after a crash (recovery then
+		// cancels it as "input lost").
+		s.blobs.PutInput(id, j.Gen, input)
 	}
-	sh.jobs[id] = e
 	s.submitted.Add(1)
-	s.retained.Add(entryOverheadBytes)
-	s.shift("", StateQueued)
-	j := e.job
-	sh.mu.Unlock()
-	events[nev] = Event{Type: EventSubmitted, ID: id, Kind: kind}
-	nev++
-	for i := 0; i < nev; i++ {
-		s.emit(events[i])
-	}
+	s.emit(Event{Type: EventSubmitted, ID: id, Kind: kind})
 	return j, false
 }
 
 // SetQueuePos records the engine queue position observed when the job was
 // admitted; a no-op if the job (that exact generation) is gone.
 func (s *Store) SetQueuePos(id string, gen uint64, pos int) {
-	s.update(id, gen, func(j *Job) { j.QueuePos = pos })
+	s.meta.SetQueuePos(id, gen, pos)
 }
 
 // Start moves a queued job to running; a no-op if the job (that exact
 // generation) is gone.
 func (s *Store) Start(id string, gen uint64) {
-	var ev Event
-	s.update(id, gen, func(j *Job) {
-		if j.State == StateQueued {
-			s.shift(StateQueued, StateRunning)
-			j.State = StateRunning
-			j.Started = s.now()
-			ev = Event{Type: EventStarted, ID: j.ID, Kind: j.Kind, Wait: j.Started.Sub(j.Created)}
-		}
-	})
-	if ev.Type != "" {
-		s.emit(ev)
+	if s.closed.Load() {
+		return
+	}
+	if j, ok := s.meta.Start(id, gen, s.now()); ok {
+		s.emit(Event{Type: EventStarted, ID: j.ID, Kind: j.Kind, Wait: j.Started.Sub(j.Created)})
 	}
 }
 
@@ -463,108 +574,61 @@ func (s *Store) Start(id string, gen uint64) {
 // no-op if the job was deleted while running (the result is dropped), or
 // if the entry under this ID is a different generation (the job was
 // deleted and an identical submission recreated it — that submission's own
-// computation delivers its result). If the retained results now exceed the
-// store's byte cap, the oldest finished jobs are evicted to make room.
+// computation delivers its result). The payload is stored before the state
+// flips, so a done job always has a fetchable result — on the durable
+// backend it is on disk before done is journaled. If resident bytes now
+// exceed the store's cap, payloads are spilled (durable) or the oldest
+// finished jobs evicted (memory) to make room.
 func (s *Store) Complete(id string, gen uint64, r *Result) {
-	sh := s.shardFor(id)
-	var ev Event
-	sh.mu.Lock()
-	if e, ok := sh.jobs[id]; ok && e.job.Gen == gen && !e.job.State.Finished() {
-		s.shift(e.job.State, StateDone)
-		e.job.State = StateDone
-		e.job.Result = r
-		e.job.Finished = s.now()
-		e.job.ExpiresAt = e.job.Finished.Add(s.ttl)
-		e.size += resultBytes(r)
-		s.retained.Add(resultBytes(r))
-		ev = Event{Type: EventDone, ID: id, Kind: e.job.Kind}
-		if !e.job.Started.IsZero() {
-			ev.Wait = e.job.Started.Sub(e.job.Created)
-			ev.Run = e.job.Finished.Sub(e.job.Started)
-		}
+	if s.closed.Load() {
+		return
 	}
-	sh.mu.Unlock()
-	if ev.Type != "" {
-		s.emit(ev)
+	if err := s.blobs.Put(id, gen, r); err != nil {
+		s.Fail(id, gen, fmt.Errorf("persist result: %w", err))
+		return
 	}
-	if s.retained.Load() > s.maxBytes {
-		s.evictOverflow()
+	info := r.ResultInfo
+	now := s.now()
+	j, ok := s.meta.Complete(id, gen, &info, now, now.Add(s.ttl))
+	if !ok {
+		// Deleted or superseded while running: drop the orphan payload.
+		s.blobs.Delete(id, gen)
+		return
 	}
-}
-
-// evictOverflow evicts finished jobs oldest-first until the retained
-// bytes drop to a low-water mark (90% of the cap, so a store sitting at
-// the cap does not rescan on every completion — each scan buys ~10% of
-// the cap in headroom), always sparing the most recently finished job (so
-// the submission that triggered the overflow still serves its result at
-// least once — the cap can transiently overshoot by that one result).
-// Best effort: candidates are snapshotted shard by shard, so a racing
-// Complete may briefly exceed the cap too.
-func (s *Store) evictOverflow() {
-	lowWater := s.maxBytes / 10 * 9
-	type cand struct {
-		id       string
-		sh       *shard
-		finished time.Time
+	s.blobs.DeleteInput(id, gen)
+	s.unregisterCancel(id, gen)
+	ev := Event{Type: EventDone, ID: id, Kind: j.Kind}
+	if !j.Started.IsZero() {
+		ev.Wait = j.Started.Sub(j.Created)
+		ev.Run = j.Finished.Sub(j.Started)
 	}
-	var cands []cand
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for id, e := range sh.jobs {
-			if e.job.State.Finished() {
-				cands = append(cands, cand{id, sh, e.job.Finished})
-			}
-		}
-		sh.mu.Unlock()
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].finished.Before(cands[j].finished) })
-	for _, c := range cands[:max(len(cands)-1, 0)] {
-		if s.retained.Load() <= lowWater {
-			return
-		}
-		c.sh.mu.Lock()
-		e, ok := c.sh.jobs[c.id]
-		if ok && e.job.State.Finished() {
-			ev := evictedEvent(&e.job)
-			s.dropLocked(c.sh, c.id, e)
-			s.evicted.Add(1)
-			c.sh.mu.Unlock()
-			s.emit(ev)
-			continue
-		}
-		c.sh.mu.Unlock()
-	}
+	s.emit(ev)
+	s.checkOverflow()
 }
 
 // Fail moves a job to failed with err as the reason and arms TTL eviction;
 // a no-op if the job was deleted while running or superseded by a newer
 // generation (see Complete).
 func (s *Store) Fail(id string, gen uint64, err error) {
-	var ev Event
-	s.update(id, gen, func(j *Job) {
-		if j.State.Finished() {
-			return
-		}
-		s.shift(j.State, StateFailed)
-		j.State = StateFailed
-		j.Err = err.Error()
-		j.Finished = s.now()
-		j.ExpiresAt = j.Finished.Add(s.ttl)
-		ev = Event{Type: EventFailed, ID: j.ID, Kind: j.Kind, Err: j.Err}
-		if !j.Started.IsZero() {
-			ev.Wait = j.Started.Sub(j.Created)
-			ev.Run = j.Finished.Sub(j.Started)
-		}
-	})
-	if ev.Type != "" {
-		s.emit(ev)
+	if s.closed.Load() {
+		return
 	}
+	now := s.now()
+	j, ok := s.meta.Fail(id, gen, err.Error(), now, now.Add(s.ttl))
+	if !ok {
+		return
+	}
+	s.blobs.DeleteInput(id, gen)
+	s.unregisterCancel(id, gen)
+	ev := Event{Type: EventFailed, ID: j.ID, Kind: j.Kind, Err: j.Err}
+	if !j.Started.IsZero() {
+		ev.Wait = j.Started.Sub(j.Created)
+		ev.Run = j.Finished.Sub(j.Started)
+	}
+	s.emit(ev)
 	// Failed entries carry no result but still occupy their overhead
 	// charge; a flood of them must trigger eviction like results do.
-	if s.retained.Load() > s.maxBytes {
-		s.evictOverflow()
-	}
+	s.checkOverflow()
 }
 
 // Cancel moves a job to canceled with err (the context error that stopped
@@ -572,101 +636,218 @@ func (s *Store) Fail(id string, gen uint64, err error) {
 // deleted or superseded jobs; queued jobs canceled by a drain move straight
 // from queued to canceled.
 func (s *Store) Cancel(id string, gen uint64, err error) {
-	var ev Event
-	s.update(id, gen, func(j *Job) {
-		if j.State.Finished() {
-			return
-		}
-		s.shift(j.State, StateCanceled)
-		j.State = StateCanceled
-		j.Err = err.Error()
-		j.Finished = s.now()
-		j.ExpiresAt = j.Finished.Add(s.ttl)
-		ev = Event{Type: EventCanceled, ID: j.ID, Kind: j.Kind, Err: j.Err}
-		if !j.Started.IsZero() {
-			ev.Wait = j.Started.Sub(j.Created)
-			ev.Run = j.Finished.Sub(j.Started)
-		}
-	})
-	if ev.Type != "" {
-		s.emit(ev)
+	if s.closed.Load() {
+		return
 	}
-	if s.retained.Load() > s.maxBytes {
-		s.evictOverflow()
+	now := s.now()
+	j, ok := s.meta.Cancel(id, gen, err.Error(), now, now.Add(s.ttl))
+	if !ok {
+		return
 	}
+	s.blobs.DeleteInput(id, gen)
+	s.unregisterCancel(id, gen)
+	ev := Event{Type: EventCanceled, ID: j.ID, Kind: j.Kind, Err: j.Err}
+	if !j.Started.IsZero() {
+		ev.Wait = j.Started.Sub(j.Created)
+		ev.Run = j.Finished.Sub(j.Started)
+	}
+	s.emit(ev)
+	s.checkOverflow()
 }
 
-func (s *Store) update(id string, gen uint64, f func(*Job)) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	if e, ok := sh.jobs[id]; ok && e.job.Gen == gen {
-		f(&e.job)
+// checkOverflow enforces MaxResultBytes: spill first (durable backends
+// release payload RAM without losing anything), evict finished entries only
+// if spilling was not enough (the memory backend, or an entry-overhead
+// flood).
+func (s *Store) checkOverflow() {
+	if s.memBytes() <= s.maxBytes {
+		return
 	}
-	sh.mu.Unlock()
+	// Scan down to a low-water mark (90% of the cap) so a store sitting at
+	// the cap does not rescan on every completion — each pass buys ~10% of
+	// the cap in headroom.
+	lowWater := s.maxBytes / 10 * 9
+	target := lowWater - int64(s.meta.Len())*entryOverheadBytes
+	if target < 0 {
+		target = 0
+	}
+	s.blobs.Shed(target)
+	if s.memBytes() <= s.maxBytes {
+		return
+	}
+	s.evictOverflow(lowWater)
+}
+
+// evictOverflow evicts finished jobs oldest-first until resident bytes drop
+// to the low-water mark, always sparing the most recently finished job (so
+// the submission that triggered the overflow still serves its result at
+// least once — the cap can transiently overshoot by that one result; see
+// Options.MaxResultBytes for the precise bound). Best effort: candidates
+// are a lock-released snapshot, so each drop rechecks the candidate's
+// generation and state under the shard lock — a job resubmitted (same
+// content-hash ID, new generation) and even re-completed since the snapshot
+// is not evicted on the stale ranking.
+func (s *Store) evictOverflow(lowWater int64) {
+	cands := s.meta.Finished()
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Finished.Before(cands[j].Finished) })
+	for i := range cands[:len(cands)-1] {
+		if s.memBytes() <= lowWater {
+			return
+		}
+		c := &cands[i]
+		if s.evictRaceHook != nil {
+			s.evictRaceHook(c.ID)
+		}
+		if j, ok := s.meta.Evict(c.ID, c.Gen); ok {
+			s.dropBlobs(&j)
+			s.evicted.Add(1)
+			s.emit(evictedEvent(&j))
+		}
+	}
 }
 
 // Get returns a snapshot of the job, evicting it first if its TTL has
 // lapsed (so expiry is observable without waiting for the sweeper).
 func (s *Store) Get(id string) (Job, bool) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	e, ok := sh.jobs[id]
+	j, ok := s.meta.Get(id)
 	if !ok {
-		sh.mu.Unlock()
 		return Job{}, false
 	}
-	if !e.job.ExpiresAt.IsZero() && s.now().After(e.job.ExpiresAt) {
-		ev := evictedEvent(&e.job)
-		s.dropLocked(sh, id, e)
-		s.evicted.Add(1)
-		sh.mu.Unlock()
-		s.emit(ev)
+	if !j.ExpiresAt.IsZero() && s.now().After(j.ExpiresAt) {
+		if dropped, ok := s.meta.Evict(id, j.Gen); ok {
+			s.dropBlobs(&dropped)
+			s.evicted.Add(1)
+			s.emit(evictedEvent(&dropped))
+		}
 		return Job{}, false
 	}
-	j := e.job
-	sh.mu.Unlock()
 	return j, true
 }
 
-// Remove deletes the job, reporting whether it existed. Removing a running
-// job is allowed: its eventual Complete/Fail becomes a no-op and the result
-// is dropped.
+// Result fetches a done job's payload from the blob store — from RAM when
+// resident, from disk when the durable backend spilled it. ErrNoBlob if the
+// job is unknown, not done, or its result was evicted.
+func (s *Store) Result(id string) (*Result, error) {
+	j, ok := s.Get(id)
+	if !ok || j.State != StateDone {
+		return nil, ErrNoBlob
+	}
+	return s.blobs.Open(id, j.Gen)
+}
+
+// Remove deletes the job, reporting whether it existed. Removing a queued
+// or running job also cancels its computation's context, releasing the
+// engine worker promptly — the eventual Complete/Fail/Cancel from the
+// unwinding goroutine is a generation-checked no-op.
 func (s *Store) Remove(id string) bool {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	e, ok := sh.jobs[id]
-	if ok {
-		s.dropLocked(sh, id, e)
+	if s.closed.Load() {
+		return false
 	}
-	sh.mu.Unlock()
-	return ok
+	j, ok := s.meta.Remove(id)
+	if !ok {
+		return false
+	}
+	s.dropBlobs(&j)
+	s.fireCancel(id, j.Gen)
+	return true
 }
 
-// Len returns the number of stored jobs across all shards.
-func (s *Store) Len() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += len(sh.jobs)
-		sh.mu.Unlock()
+// RegisterCancel associates the in-flight computation's context cancel with
+// the job, so Remove can stop the computation instead of orphaning it. If
+// that generation is already gone (a Remove raced admission), cancel runs
+// immediately. The registration is dropped automatically when the job
+// reaches a terminal state; the owner keeps responsibility for calling
+// cancel on its own exit path (a double cancel is harmless).
+func (s *Store) RegisterCancel(id string, gen uint64, cancel context.CancelFunc) {
+	if cancel == nil {
+		return
 	}
-	return n
+	s.cancelMu.Lock()
+	j, ok := s.meta.Get(id)
+	if !ok || j.Gen != gen || j.State.Finished() {
+		s.cancelMu.Unlock()
+		cancel()
+		return
+	}
+	s.cancels[id] = cancelReg{gen: gen, cancel: cancel}
+	s.cancelMu.Unlock()
 }
 
-// Counts reads the per-state gauges and cumulative counters. O(1): the
-// gauges are maintained at every transition, never by scanning.
+// unregisterCancel drops the registration without invoking it (the job
+// finished on its own; its owner unwinds the context).
+func (s *Store) unregisterCancel(id string, gen uint64) {
+	s.cancelMu.Lock()
+	if reg, ok := s.cancels[id]; ok && reg.gen == gen {
+		delete(s.cancels, id)
+	}
+	s.cancelMu.Unlock()
+}
+
+// fireCancel pops the registration and invokes it.
+func (s *Store) fireCancel(id string, gen uint64) {
+	s.cancelMu.Lock()
+	reg, ok := s.cancels[id]
+	if ok && reg.gen == gen {
+		delete(s.cancels, id)
+	}
+	s.cancelMu.Unlock()
+	if ok && reg.gen == gen {
+		reg.cancel()
+	}
+}
+
+// Recover resubmits every interrupted job a durable backend replayed:
+// queued snapshots (jobs that were queued or running at the crash) are
+// handed to resubmit along with their persisted input bytes. A job whose
+// input was lost, or whose resubmission fails (engine queue full, decode
+// error), is canceled with a "recovery:" reason — the documented terminal
+// state clients observe after a restart that could not re-run their job.
+// On the memory backend Recover is a no-op (a fresh store holds nothing).
+func (s *Store) Recover(resubmit func(j Job, input []byte) error) (requeued, canceled int) {
+	for _, j := range s.meta.Queued() {
+		input, err := s.blobs.Input(j.ID, j.Gen)
+		if err != nil {
+			s.Cancel(j.ID, j.Gen, fmt.Errorf("recovery: input lost"))
+			canceled++
+			continue
+		}
+		if err := resubmit(j, input); err != nil {
+			s.Cancel(j.ID, j.Gen, fmt.Errorf("recovery: %w", err))
+			canceled++
+			continue
+		}
+		requeued++
+	}
+	s.recovered.Add(int64(requeued))
+	s.recoveryCanceled.Add(int64(canceled))
+	return requeued, canceled
+}
+
+// Len returns the number of stored jobs.
+func (s *Store) Len() int { return s.meta.Len() }
+
+// Counts reads the per-state gauges and cumulative counters. Near-O(1):
+// the gauges are maintained at every transition, never by scanning.
 func (s *Store) Counts() Counts {
+	queued, running, done, failed, canceled := s.meta.StateCounts()
+	bs := s.blobs.Stats()
 	return Counts{
-		Queued:      s.queued.Load(),
-		Running:     s.running.Load(),
-		Done:        s.done.Load(),
-		Failed:      s.failed.Load(),
-		Canceled:    s.canceled.Load(),
-		Submitted:   s.submitted.Load(),
-		DedupHits:   s.dedupHits.Load(),
-		Evicted:     s.evicted.Load(),
-		ResultBytes: s.retained.Load(),
+		Queued:           queued,
+		Running:          running,
+		Done:             done,
+		Failed:           failed,
+		Canceled:         canceled,
+		Submitted:        s.submitted.Load(),
+		DedupHits:        s.dedupHits.Load(),
+		Evicted:          s.evicted.Load(),
+		ResultBytes:      int64(s.meta.Len())*entryOverheadBytes + bs.MemBytes,
+		DiskBytes:        bs.DiskBytes,
+		Spilled:          bs.Spilled,
+		Recovered:        s.recovered.Load(),
+		RecoveryCanceled: s.recoveryCanceled.Load(),
 	}
 }
 
@@ -686,21 +867,11 @@ func (s *Store) sweeper(every time.Duration) {
 
 // sweep evicts every finished job whose TTL has lapsed.
 func (s *Store) sweep() {
-	now := s.now()
-	var events []Event
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for id, e := range sh.jobs {
-			if !e.job.ExpiresAt.IsZero() && now.After(e.job.ExpiresAt) {
-				events = append(events, evictedEvent(&e.job))
-				s.dropLocked(sh, id, e)
-				s.evicted.Add(1)
-			}
-		}
-		sh.mu.Unlock()
-	}
-	for _, ev := range events {
-		s.emit(ev)
+	dropped := s.meta.Sweep(s.now())
+	for i := range dropped {
+		j := &dropped[i]
+		s.dropBlobs(j)
+		s.evicted.Add(1)
+		s.emit(evictedEvent(j))
 	}
 }

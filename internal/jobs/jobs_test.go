@@ -3,6 +3,7 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -10,14 +11,35 @@ import (
 	"repro/internal/binimg"
 )
 
+// testBackend returns the backend the suite runs against; CI sets
+// CCSERVE_TEST_JOB_STORE=sqlite to exercise the durable backend with the
+// same lifecycle tests.
+func testBackend() string {
+	if b := os.Getenv("CCSERVE_TEST_JOB_STORE"); b != "" {
+		return b
+	}
+	return BackendMemory
+}
+
+func durableTest() bool { return testBackend() != BackendMemory }
+
 // newTestStore builds a store whose clock the test controls. The sweeper
 // still runs on wall time but sees the fake clock, so tests advance expiry
 // deterministically; the clock is injected before the sweeper starts so
 // there is no unsynchronized write to s.now.
 func newTestStore(t *testing.T, opt Options) (*Store, *fakeClock) {
 	t.Helper()
+	if opt.Backend == "" {
+		opt.Backend = testBackend()
+	}
+	if opt.Backend != BackendMemory && opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
 	clk := &fakeClock{t: time.Now()}
-	s := newStore(opt, clk.Now)
+	s, err := open(opt, clk.Now)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
 	t.Cleanup(s.Close)
 	return s, clk
 }
@@ -65,7 +87,7 @@ func TestCreateOrGetDedup(t *testing.T) {
 	s, _ := newTestStore(t, Options{Shards: 4, TTL: time.Hour})
 	id := Key(KindLabels, "paremsp", 8, 0, []byte("img"))
 
-	j, existed := s.CreateOrGet(id, KindLabels)
+	j, existed := s.CreateOrGet(id, KindLabels, Params{}, nil)
 	if existed {
 		t.Fatal("first CreateOrGet reported an existing job")
 	}
@@ -77,10 +99,10 @@ func TestCreateOrGetDedup(t *testing.T) {
 	for _, step := range []func(){
 		func() {},
 		func() { s.Start(id, j.Gen) },
-		func() { s.Complete(id, j.Gen, &Result{NumComponents: 3}) },
+		func() { s.Complete(id, j.Gen, &Result{ResultInfo: ResultInfo{NumComponents: 3}}) },
 	} {
 		step()
-		if _, existed := s.CreateOrGet(id, KindLabels); !existed {
+		if _, existed := s.CreateOrGet(id, KindLabels, Params{}, nil); !existed {
 			t.Fatalf("dedup miss after %v", s.mustState(t, id))
 		}
 	}
@@ -90,9 +112,9 @@ func TestCreateOrGetDedup(t *testing.T) {
 
 	// A failed job is replaced by a resubmission, not returned.
 	id2 := Key(KindLabels, "paremsp", 8, 0, []byte("bad"))
-	jb, _ := s.CreateOrGet(id2, KindLabels)
+	jb, _ := s.CreateOrGet(id2, KindLabels, Params{}, nil)
 	s.Fail(id2, jb.Gen, errors.New("boom"))
-	j2, existed := s.CreateOrGet(id2, KindLabels)
+	j2, existed := s.CreateOrGet(id2, KindLabels, Params{}, nil)
 	if existed {
 		t.Fatal("failed job deduplicated; want replacement")
 	}
@@ -114,7 +136,7 @@ func (s *Store) mustState(t *testing.T, id string) State {
 func TestLifecycleTransitions(t *testing.T) {
 	s, clk := newTestStore(t, Options{TTL: time.Minute})
 	id := "job-1"
-	created, _ := s.CreateOrGet(id, KindStats)
+	created, _ := s.CreateOrGet(id, KindStats, Params{}, nil)
 	gen := created.Gen
 
 	j, _ := s.Get(id)
@@ -136,14 +158,21 @@ func TestLifecycleTransitions(t *testing.T) {
 		t.Fatal("second Start moved the started timestamp")
 	}
 
-	res := &Result{NumComponents: 2, Width: 5, Height: 4}
+	res := &Result{ResultInfo: ResultInfo{NumComponents: 2, Width: 5, Height: 4}}
 	s.Complete(id, gen, res)
 	j, _ = s.Get(id)
-	if j.State != StateDone || j.Result != res || j.Finished.IsZero() {
+	if j.State != StateDone || j.Info == nil || j.Finished.IsZero() {
 		t.Fatalf("done snapshot = %+v", j)
+	}
+	if j.Info.NumComponents != 2 || j.Info.Width != 5 || j.Info.Height != 4 {
+		t.Fatalf("done info = %+v", j.Info)
 	}
 	if want := j.Finished.Add(time.Minute); !j.ExpiresAt.Equal(want) {
 		t.Fatalf("ExpiresAt = %v, want finished+TTL %v", j.ExpiresAt, want)
+	}
+	got, err := s.Result(id)
+	if err != nil || got.NumComponents != 2 {
+		t.Fatalf("Result(%s) = %+v, %v", id, got, err)
 	}
 
 	// Terminal states are sticky: a late Fail must not clobber the result.
@@ -158,33 +187,36 @@ func TestLifecycleTransitions(t *testing.T) {
 // must not touch the replacement entry that reuses the content-hash ID.
 func TestStaleGenerationIgnored(t *testing.T) {
 	s, _ := newTestStore(t, Options{TTL: time.Hour})
-	old, _ := s.CreateOrGet("id", KindStats)
+	old, _ := s.CreateOrGet("id", KindStats, Params{}, nil)
 	s.Start("id", old.Gen)
 	s.Remove("id") // client deletes the running job
-	fresh, existed := s.CreateOrGet("id", KindStats)
+	fresh, existed := s.CreateOrGet("id", KindStats, Params{}, nil)
 	if existed || fresh.Gen == old.Gen {
 		t.Fatalf("replacement = %+v (existed %v), want a fresh generation", fresh, existed)
 	}
 
 	// The stale goroutine finishes: none of its transitions may land.
 	s.Start("id", old.Gen)
-	s.Complete("id", old.Gen, &Result{BandRows: 7})
+	s.Complete("id", old.Gen, &Result{ResultInfo: ResultInfo{BandRows: 7}})
 	s.Fail("id", old.Gen, errors.New("stale"))
 	j, ok := s.Get("id")
-	if !ok || j.State != StateQueued || j.Result != nil || !j.Started.IsZero() {
+	if !ok || j.State != StateQueued || j.Info != nil || !j.Started.IsZero() {
 		t.Fatalf("stale transitions leaked into replacement: %+v", j)
+	}
+	if _, err := s.Result("id"); err == nil {
+		t.Fatal("stale result is fetchable from the replacement")
 	}
 
 	// The replacement's own completion still works.
-	s.Complete("id", fresh.Gen, &Result{BandRows: 64})
-	if j, _ := s.Get("id"); j.State != StateDone || j.Result.BandRows != 64 {
+	s.Complete("id", fresh.Gen, &Result{ResultInfo: ResultInfo{BandRows: 64}})
+	if j, _ := s.Get("id"); j.State != StateDone || j.Info.BandRows != 64 {
 		t.Fatalf("replacement completion = %+v", j)
 	}
 }
 
 func TestCompleteAfterRemoveIsDropped(t *testing.T) {
 	s, _ := newTestStore(t, Options{})
-	jg, _ := s.CreateOrGet("gone", KindLabels)
+	jg, _ := s.CreateOrGet("gone", KindLabels, Params{}, nil)
 	if !s.Remove("gone") {
 		t.Fatal("Remove reported missing job")
 	}
@@ -199,7 +231,7 @@ func TestCompleteAfterRemoveIsDropped(t *testing.T) {
 
 func TestGetLazyExpiry(t *testing.T) {
 	s, clk := newTestStore(t, Options{TTL: time.Minute})
-	ja, _ := s.CreateOrGet("a", KindLabels)
+	ja, _ := s.CreateOrGet("a", KindLabels, Params{}, nil)
 	s.Complete("a", ja.Gen, &Result{})
 	if _, ok := s.Get("a"); !ok {
 		t.Fatal("job expired before TTL")
@@ -218,14 +250,14 @@ func TestGetLazyExpiry(t *testing.T) {
 
 func TestExpiredJobIsReplacedOnResubmit(t *testing.T) {
 	s, clk := newTestStore(t, Options{TTL: time.Minute})
-	ja, _ := s.CreateOrGet("a", KindLabels)
-	s.Complete("a", ja.Gen, &Result{NumComponents: 9})
+	ja, _ := s.CreateOrGet("a", KindLabels, Params{}, nil)
+	s.Complete("a", ja.Gen, &Result{ResultInfo: ResultInfo{NumComponents: 9}})
 	clk.Advance(2 * time.Minute)
-	j, existed := s.CreateOrGet("a", KindLabels)
+	j, existed := s.CreateOrGet("a", KindLabels, Params{}, nil)
 	if existed {
 		t.Fatal("expired job deduplicated; want replacement")
 	}
-	if j.State != StateQueued || j.Result != nil {
+	if j.State != StateQueued || j.Info != nil {
 		t.Fatalf("replacement = %+v", j)
 	}
 }
@@ -234,9 +266,9 @@ func TestSweeperEvicts(t *testing.T) {
 	// Real clock here: the sweeper tick and the TTL race wall time.
 	s := NewStore(Options{TTL: 30 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
 	defer s.Close()
-	ja, _ := s.CreateOrGet("a", KindLabels)
+	ja, _ := s.CreateOrGet("a", KindLabels, Params{}, nil)
 	s.Complete("a", ja.Gen, &Result{})
-	s.CreateOrGet("b", KindLabels) // queued: must survive every sweep
+	s.CreateOrGet("b", KindLabels, Params{}, nil) // queued: must survive every sweep
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -261,7 +293,7 @@ func TestCountsCensus(t *testing.T) {
 	gens := map[string]uint64{}
 	for i := 0; i < 4; i++ {
 		id := fmt.Sprintf("q%d", i)
-		j, _ := s.CreateOrGet(id, KindLabels)
+		j, _ := s.CreateOrGet(id, KindLabels, Params{}, nil)
 		gens[id] = j.Gen
 	}
 	s.Start("q0", gens["q0"])
@@ -276,20 +308,49 @@ func TestCountsCensus(t *testing.T) {
 	}
 }
 
-// TestResultByteCap checks overflow eviction: completing results past
-// MaxResultBytes evicts the oldest finished jobs, sparing the newest.
+// TestResultByteCap checks the MaxResultBytes overflow policy. On the
+// memory backend, completing results past the cap evicts the oldest
+// finished jobs, sparing the newest. On the durable backend nothing is
+// evicted: RAM copies are spilled to disk and every result stays
+// fetchable (the satellite-3 spill-not-exempt behaviour).
 func TestResultByteCap(t *testing.T) {
 	// Each done entry charges entryOverheadBytes + 100 labels * 4 bytes.
 	const perEntry = entryOverheadBytes + 400
-	s, clk := newTestStore(t, Options{Shards: 2, TTL: time.Hour, MaxResultBytes: 2 * perEntry})
+	capBytes := int64(2 * perEntry)
+	if durableTest() {
+		// The durable backend only evicts entries when overhead alone
+		// overflows; give all four entries headroom so the payloads are
+		// what busts the cap and spilling resolves it.
+		capBytes = 4*entryOverheadBytes + 400
+	}
+	s, clk := newTestStore(t, Options{Shards: 2, TTL: time.Hour, MaxResultBytes: capBytes})
 	mkRes := func() *Result {
 		return &Result{Labels: &binimg.LabelMap{L: make([]binimg.Label, 100)}}
 	}
 	for i := 0; i < 4; i++ {
 		id := fmt.Sprintf("j%d", i)
-		j, _ := s.CreateOrGet(id, KindLabels)
+		j, _ := s.CreateOrGet(id, KindLabels, Params{}, nil)
 		s.Complete(id, j.Gen, mkRes())
 		clk.Advance(time.Second) // distinct Finished times order the eviction
+	}
+	if durableTest() {
+		// Spill, don't evict: all four jobs stay done, resident bytes obey
+		// the cap, and spilled results still serve from disk.
+		c := s.Counts()
+		if c.Evicted != 0 || c.Spilled < 1 {
+			t.Fatalf("durable overflow: %+v, want 0 evicted and >= 1 spilled", c)
+		}
+		for i := 0; i < 4; i++ {
+			id := fmt.Sprintf("j%d", i)
+			r, err := s.Result(id)
+			if err != nil || len(r.Labels.L) != 100 {
+				t.Fatalf("spilled Result(%s) = %v, %v", id, r, err)
+			}
+		}
+		if got := s.Counts().ResultBytes; got > capBytes {
+			t.Fatalf("resident %d bytes after spill, want <= cap", got)
+		}
+		return
 	}
 	if got := s.Counts().ResultBytes; got > 2*perEntry+perEntry {
 		t.Fatalf("retained %d bytes, want <= cap + one entry", got)
@@ -314,13 +375,14 @@ func TestResultByteCap(t *testing.T) {
 
 // TestFailedEntryFloodBounded: failed jobs carry no result payload but
 // still charge their entry overhead, so a flood of them cannot grow the
-// store past the byte cap (the metadata-DoS case).
+// store past the byte cap (the metadata-DoS case). Spilling cannot help
+// here — there is no payload to spill — so this holds on both backends.
 func TestFailedEntryFloodBounded(t *testing.T) {
 	const capBytes = 4 * entryOverheadBytes
 	s, clk := newTestStore(t, Options{TTL: time.Hour, MaxResultBytes: capBytes})
 	for i := 0; i < 50; i++ {
 		id := fmt.Sprintf("f%d", i)
-		j, _ := s.CreateOrGet(id, KindLabels)
+		j, _ := s.CreateOrGet(id, KindLabels, Params{}, nil)
 		s.Fail(id, j.Gen, errors.New("synthetic"))
 		clk.Advance(time.Second)
 	}
@@ -335,7 +397,15 @@ func TestFailedEntryFloodBounded(t *testing.T) {
 // TestStoreConcurrent hammers one store from many goroutines; run under
 // go test -race this is the shard-locking correctness check.
 func TestStoreConcurrent(t *testing.T) {
-	s := NewStore(Options{Shards: 4, TTL: 50 * time.Millisecond, SweepEvery: 5 * time.Millisecond})
+	opt := Options{Shards: 4, TTL: 50 * time.Millisecond, SweepEvery: 5 * time.Millisecond,
+		Backend: testBackend()}
+	if durableTest() {
+		opt.Dir = t.TempDir()
+	}
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
 	defer s.Close()
 
 	const workers = 8
@@ -348,17 +418,18 @@ func TestStoreConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				id := Key(KindLabels, "paremsp", 8, 0, []byte{byte(i % 16)})
-				j, existed := s.CreateOrGet(id, KindLabels)
+				j, existed := s.CreateOrGet(id, KindLabels, Params{}, []byte{byte(i % 16)})
 				if !existed {
 					s.SetQueuePos(id, j.Gen, i)
 					s.Start(id, j.Gen)
 					if i%3 == 0 {
 						s.Fail(id, j.Gen, errors.New("synthetic"))
 					} else {
-						s.Complete(id, j.Gen, &Result{NumComponents: i})
+						s.Complete(id, j.Gen, &Result{ResultInfo: ResultInfo{NumComponents: i}})
 					}
 				}
 				s.Get(id)
+				s.Result(id)
 				if (i+w)%7 == 0 {
 					s.Remove(id)
 				}
@@ -378,29 +449,37 @@ func TestEventHook(t *testing.T) {
 	var got []Event
 	var s *Store
 	clk := &fakeClock{t: time.Now()}
-	s = newStore(Options{TTL: time.Minute, OnEvent: func(ev Event) {
+	opt := Options{TTL: time.Minute, Backend: testBackend(), OnEvent: func(ev Event) {
 		s.Counts() // re-entrancy: must not deadlock
 		mu.Lock()
 		got = append(got, ev)
 		mu.Unlock()
-	}}, clk.Now)
+	}}
+	if durableTest() {
+		opt.Dir = t.TempDir()
+	}
+	var err error
+	s, err = open(opt, clk.Now)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
 	defer s.Close()
 
 	id := "job-ev"
-	j, existed := s.CreateOrGet(id, KindLabels)
+	j, existed := s.CreateOrGet(id, KindLabels, Params{}, nil)
 	if existed {
 		t.Fatal("fresh job reported as existing")
 	}
-	if _, existed = s.CreateOrGet(id, KindLabels); !existed {
+	if _, existed = s.CreateOrGet(id, KindLabels, Params{}, nil); !existed {
 		t.Fatal("dedup miss")
 	}
 	clk.Advance(10 * time.Millisecond)
 	s.Start(id, j.Gen)
 	clk.Advance(30 * time.Millisecond)
-	s.Complete(id, j.Gen, &Result{NumComponents: 1})
+	s.Complete(id, j.Gen, &Result{ResultInfo: ResultInfo{NumComponents: 1}})
 
 	id2 := "job-fail"
-	j2, _ := s.CreateOrGet(id2, KindStats)
+	j2, _ := s.CreateOrGet(id2, KindStats, Params{}, nil)
 	s.Start(id2, j2.Gen)
 	s.Fail(id2, j2.Gen, errors.New("boom"))
 
@@ -441,7 +520,7 @@ func TestEventHookEviction(t *testing.T) {
 		}
 	}})
 
-	j, _ := s.CreateOrGet("old", KindLabels)
+	j, _ := s.CreateOrGet("old", KindLabels, Params{}, nil)
 	s.Start("old", j.Gen)
 	s.Complete("old", j.Gen, &Result{})
 	clk.Advance(2 * time.Minute)
@@ -452,5 +531,136 @@ func TestEventHookEviction(t *testing.T) {
 	defer mu.Unlock()
 	if !evicted["old"] {
 		t.Fatal("lazy-expiry eviction did not reach the hook")
+	}
+}
+
+// TestEvictStaleGenerationNoOp pins the satellite-1 bugfix at the MetaStore
+// level: Evict carries the candidate's generation and must refuse to drop
+// an entry that was replaced (same ID, new generation) after the candidate
+// snapshot was taken.
+func TestEvictStaleGenerationNoOp(t *testing.T) {
+	s, _ := newTestStore(t, Options{TTL: time.Hour})
+	old, _ := s.CreateOrGet("x", KindLabels, Params{}, nil)
+	s.Complete("x", old.Gen, &Result{})
+
+	// The job is deleted and resubmitted between candidate ranking and the
+	// drop; the replacement completes with a fresh result.
+	s.Remove("x")
+	fresh, _ := s.CreateOrGet("x", KindLabels, Params{}, nil)
+	s.Complete("x", fresh.Gen, &Result{ResultInfo: ResultInfo{NumComponents: 42}})
+
+	if _, ok := s.meta.Evict("x", old.Gen); ok {
+		t.Fatal("Evict dropped a fresh entry on a stale generation")
+	}
+	if j, ok := s.Get("x"); !ok || j.State != StateDone || j.Info.NumComponents != 42 {
+		t.Fatalf("fresh result lost: %+v (ok=%v)", j, ok)
+	}
+	if _, ok := s.meta.Evict("x", fresh.Gen); !ok {
+		t.Fatal("Evict refused the matching generation")
+	}
+}
+
+// TestEvictOverflowRaceSparesFreshResult drives the same race through the
+// real overflow path: while evictOverflow walks its lock-released candidate
+// ranking, the oldest candidate is deleted, resubmitted and re-completed.
+// The pass must skip it (stale generation) instead of evicting the fresh
+// result — the pre-fix behaviour rechecked only State.Finished() and
+// dropped it.
+func TestEvictOverflowRaceSparesFreshResult(t *testing.T) {
+	if durableTest() {
+		t.Skip("overflow evicts entries only on the memory backend")
+	}
+	const perEntry = entryOverheadBytes + 400
+	// Three finished jobs fit under the cap; the fourth pushes over, so the
+	// overflow pass runs exactly once, after the race hook is armed.
+	s, clk := newTestStore(t, Options{Shards: 2, TTL: time.Hour, MaxResultBytes: 3*perEntry + 100})
+	mkRes := func(nc int) *Result {
+		return &Result{
+			ResultInfo: ResultInfo{NumComponents: nc},
+			Labels:     &binimg.LabelMap{L: make([]binimg.Label, 100)},
+		}
+	}
+
+	// "victim" is the oldest finished job, so it heads the eviction ranking.
+	for i, id := range []string{"victim", "mid", "newest"} {
+		j, _ := s.CreateOrGet(id, KindLabels, Params{}, nil)
+		s.Complete(id, j.Gen, mkRes(i))
+		clk.Advance(time.Second)
+	}
+
+	var raced bool
+	s.evictRaceHook = func(id string) {
+		if id != "victim" || raced {
+			return
+		}
+		raced = true
+		// The race: between ranking and drop, the victim is removed,
+		// resubmitted under the same content-hash ID and completed again.
+		// meta-level calls keep the hook re-entrancy-safe (the façade's
+		// Complete would recurse into overflow handling).
+		s.meta.Remove("victim")
+		j, _, _ := s.meta.CreateOrGet("victim", KindLabels, Params{}, s.now())
+		s.blobs.Put("victim", j.Gen, mkRes(99))
+		info := &ResultInfo{NumComponents: 99}
+		now := s.now()
+		s.meta.Complete("victim", j.Gen, info, now, now.Add(s.ttl))
+	}
+
+	// Push past the cap: the overflow pass ranks [victim, mid, newest, ...]
+	// and fires the hook before touching the victim.
+	j, _ := s.CreateOrGet("overflow", KindLabels, Params{}, nil)
+	s.Complete("overflow", j.Gen, mkRes(3))
+
+	if !raced {
+		t.Fatal("eviction race hook never fired")
+	}
+	got, ok := s.Get("victim")
+	if !ok || got.State != StateDone || got.Info.NumComponents != 99 {
+		t.Fatalf("fresh re-completed result was evicted on the stale ranking: %+v (ok=%v)", got, ok)
+	}
+	if r, err := s.Result("victim"); err != nil || r.NumComponents != 99 {
+		t.Fatalf("fresh result payload lost: %+v, %v", r, err)
+	}
+}
+
+// TestRemoveFiresRegisteredCancel pins the satellite-2 bugfix at the store
+// level: Remove must invoke the registered context cancel so the in-flight
+// computation stops burning a worker.
+func TestRemoveFiresRegisteredCancel(t *testing.T) {
+	s, _ := newTestStore(t, Options{TTL: time.Hour})
+	j, _ := s.CreateOrGet("r", KindLabels, Params{}, nil)
+
+	canceled := make(chan struct{})
+	s.RegisterCancel("r", j.Gen, func() { close(canceled) })
+	select {
+	case <-canceled:
+		t.Fatal("RegisterCancel fired immediately for a live job")
+	default:
+	}
+
+	s.Remove("r")
+	select {
+	case <-canceled:
+	default:
+		t.Fatal("Remove did not cancel the in-flight computation")
+	}
+
+	// Registering against a gone generation cancels immediately.
+	canceled2 := make(chan struct{})
+	s.RegisterCancel("r", j.Gen, func() { close(canceled2) })
+	select {
+	case <-canceled2:
+	default:
+		t.Fatal("RegisterCancel for a removed job did not cancel immediately")
+	}
+
+	// A job that finishes normally drops its registration without firing.
+	j2, _ := s.CreateOrGet("ok", KindLabels, Params{}, nil)
+	fired := false
+	s.RegisterCancel("ok", j2.Gen, func() { fired = true })
+	s.Complete("ok", j2.Gen, &Result{})
+	s.Remove("ok")
+	if fired {
+		t.Fatal("Remove fired the cancel of an already-finished job")
 	}
 }

@@ -1,0 +1,326 @@
+package jobs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetaStore is the job metadata store: generation-aware lifecycle records
+// keyed by content-hash job ID. Implementations must be safe for concurrent
+// use. The in-memory sharded map (memMeta) is the default backend; the
+// durable backend (durMeta) decorates it with a write-ahead journal so the
+// same lifecycle logic runs once and the journal only records what applied.
+//
+// Transition methods return the post-transition snapshot and whether the
+// transition applied; a transition targeting a missing ID or a stale
+// generation is a no-op (applied=false). Timestamps are passed in by the
+// caller (the Store façade owns the clock), which keeps implementations
+// clock-free and makes journal replay exact.
+type MetaStore interface {
+	// CreateOrGet is the dedup gate: a live entry under id is returned with
+	// existed=true; a failed, canceled or expired one is replaced by a fresh
+	// queued job (returned via replaced so the caller can release its blobs
+	// and account the eviction).
+	CreateOrGet(id string, kind Kind, p Params, now time.Time) (j Job, existed bool, replaced *Job)
+	// SetQueuePos records the engine queue position observed at admission.
+	SetQueuePos(id string, gen uint64, pos int)
+	// Start moves a queued job to running.
+	Start(id string, gen uint64, now time.Time) (Job, bool)
+	// Complete moves an unfinished job to done with its result summary.
+	Complete(id string, gen uint64, info *ResultInfo, now, expires time.Time) (Job, bool)
+	// Fail moves an unfinished job to failed.
+	Fail(id string, gen uint64, msg string, now, expires time.Time) (Job, bool)
+	// Cancel moves an unfinished job to canceled.
+	Cancel(id string, gen uint64, msg string, now, expires time.Time) (Job, bool)
+	// Get returns a snapshot; it applies no expiry logic (the façade does).
+	Get(id string) (Job, bool)
+	// Remove deletes the job regardless of state.
+	Remove(id string) (Job, bool)
+	// Evict deletes the job only if that exact generation is still present
+	// and finished — the recheck that makes byte-cap eviction safe against
+	// a job being resubmitted and re-completed behind a stale candidate
+	// ranking.
+	Evict(id string, gen uint64) (Job, bool)
+	// Sweep drops every finished job whose expiry precedes now and returns
+	// the dropped snapshots.
+	Sweep(now time.Time) []Job
+	// Finished and Queued snapshot the jobs in those states (Finished spans
+	// done, failed and canceled); used for eviction ranking and recovery.
+	Finished() []Job
+	Queued() []Job
+	// Len is the number of stored jobs.
+	Len() int
+	// StateCounts reads the per-state gauges (O(1), never a scan).
+	StateCounts() (queued, running, done, failed, canceled int64)
+	// Close releases backend resources (files, handles). The in-memory
+	// implementation is a no-op.
+	Close() error
+}
+
+// memMeta is the default MetaStore: N mutex-sharded maps with per-state
+// gauges maintained at every transition so a census never scans the shards.
+type memMeta struct {
+	shards []metaShard
+	// gen issues Job.Gen values; the durable backend seeds it past the
+	// largest replayed generation.
+	gen atomic.Uint64
+
+	queued, running, done, failed, canceled atomic.Int64
+}
+
+type metaShard struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+func newMemMeta(shards int) *memMeta {
+	m := &memMeta{shards: make([]metaShard, shards)}
+	for i := range m.shards {
+		m.shards[i].jobs = make(map[string]*Job)
+	}
+	return m
+}
+
+func (m *memMeta) shardFor(id string) *metaShard {
+	// Inline FNV-1a: shardFor runs on every store operation and the
+	// hash.Hash32 from fnv.New32a would heap-allocate each time.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &m.shards[h%uint32(len(m.shards))]
+}
+
+func (m *memMeta) stateGauge(st State) *atomic.Int64 {
+	switch st {
+	case StateQueued:
+		return &m.queued
+	case StateRunning:
+		return &m.running
+	case StateDone:
+		return &m.done
+	case StateCanceled:
+		return &m.canceled
+	default:
+		return &m.failed
+	}
+}
+
+// shift accounts one job moving between states; "" means created/removed.
+func (m *memMeta) shift(from, to State) {
+	if from != "" {
+		m.stateGauge(from).Add(-1)
+	}
+	if to != "" {
+		m.stateGauge(to).Add(1)
+	}
+}
+
+func (m *memMeta) CreateOrGet(id string, kind Kind, p Params, now time.Time) (Job, bool, *Job) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if j, ok := sh.jobs[id]; ok {
+		expired := !j.ExpiresAt.IsZero() && now.After(j.ExpiresAt)
+		retryable := j.State == StateFailed || j.State == StateCanceled
+		if !retryable && !expired {
+			return *j, true, nil
+		}
+		// Failed, canceled or expired: replace with a fresh job and hand the
+		// old snapshot back so the caller can release its blobs.
+		repl := *j
+		delete(sh.jobs, id)
+		m.shift(repl.State, "")
+		fresh := m.createLocked(sh, id, kind, p, now)
+		return fresh, false, &repl
+	}
+	return m.createLocked(sh, id, kind, p, now), false, nil
+}
+
+func (m *memMeta) createLocked(sh *metaShard, id string, kind Kind, p Params, now time.Time) Job {
+	j := &Job{ID: id, Gen: m.gen.Add(1), Kind: kind, State: StateQueued, Created: now, Params: p}
+	sh.jobs[id] = j
+	m.shift("", StateQueued)
+	return *j
+}
+
+// install places a replayed job snapshot directly, gauges included; the
+// durable backend uses it during journal replay (no events, no journaling).
+func (m *memMeta) install(j Job) {
+	sh := m.shardFor(j.ID)
+	sh.mu.Lock()
+	if old, ok := sh.jobs[j.ID]; ok {
+		m.shift(old.State, "")
+	}
+	cp := j
+	sh.jobs[j.ID] = &cp
+	m.shift("", j.State)
+	sh.mu.Unlock()
+	// Keep the generation counter ahead of every installed entry.
+	for {
+		cur := m.gen.Load()
+		if j.Gen <= cur || m.gen.CompareAndSwap(cur, j.Gen) {
+			return
+		}
+	}
+}
+
+// mutate runs f on the entry if id exists at exactly gen, returning the
+// post-mutation snapshot and whether f reported the transition applied.
+func (m *memMeta) mutate(id string, gen uint64, f func(*Job) bool) (Job, bool) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
+	if !ok || j.Gen != gen {
+		return Job{}, false
+	}
+	if !f(j) {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+func (m *memMeta) SetQueuePos(id string, gen uint64, pos int) {
+	m.mutate(id, gen, func(j *Job) bool { j.QueuePos = pos; return true })
+}
+
+func (m *memMeta) Start(id string, gen uint64, now time.Time) (Job, bool) {
+	return m.mutate(id, gen, func(j *Job) bool {
+		if j.State != StateQueued {
+			return false
+		}
+		m.shift(StateQueued, StateRunning)
+		j.State = StateRunning
+		j.Started = now
+		return true
+	})
+}
+
+func (m *memMeta) finish(id string, gen uint64, to State, msg string, info *ResultInfo, now, expires time.Time) (Job, bool) {
+	return m.mutate(id, gen, func(j *Job) bool {
+		if j.State.Finished() {
+			return false
+		}
+		m.shift(j.State, to)
+		j.State = to
+		j.Err = msg
+		j.Info = info
+		j.Finished = now
+		j.ExpiresAt = expires
+		return true
+	})
+}
+
+func (m *memMeta) Complete(id string, gen uint64, info *ResultInfo, now, expires time.Time) (Job, bool) {
+	return m.finish(id, gen, StateDone, "", info, now, expires)
+}
+
+func (m *memMeta) Fail(id string, gen uint64, msg string, now, expires time.Time) (Job, bool) {
+	return m.finish(id, gen, StateFailed, msg, nil, now, expires)
+}
+
+func (m *memMeta) Cancel(id string, gen uint64, msg string, now, expires time.Time) (Job, bool) {
+	return m.finish(id, gen, StateCanceled, msg, nil, now, expires)
+}
+
+func (m *memMeta) Get(id string) (Job, bool) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if j, ok := sh.jobs[id]; ok {
+		return *j, true
+	}
+	return Job{}, false
+}
+
+func (m *memMeta) Remove(id string) (Job, bool) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	delete(sh.jobs, id)
+	m.shift(j.State, "")
+	return *j, true
+}
+
+func (m *memMeta) Evict(id string, gen uint64) (Job, bool) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
+	// The generation and state recheck under the shard lock: a candidate
+	// ranked from a released-lock snapshot may have been deleted and
+	// resubmitted (same content-hash ID, new generation) and even completed
+	// again — its fresh result must not be dropped on the stale "oldest"
+	// ranking.
+	if !ok || j.Gen != gen || !j.State.Finished() {
+		return Job{}, false
+	}
+	delete(sh.jobs, id)
+	m.shift(j.State, "")
+	return *j, true
+}
+
+func (m *memMeta) Sweep(now time.Time) []Job {
+	var dropped []Job
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, j := range sh.jobs {
+			if !j.ExpiresAt.IsZero() && now.After(j.ExpiresAt) {
+				dropped = append(dropped, *j)
+				delete(sh.jobs, id)
+				m.shift(j.State, "")
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+func (m *memMeta) snapshot(keep func(*Job) bool) []Job {
+	var out []Job
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			if keep(j) {
+				out = append(out, *j)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+func (m *memMeta) Finished() []Job {
+	return m.snapshot(func(j *Job) bool { return j.State.Finished() })
+}
+
+func (m *memMeta) Queued() []Job {
+	return m.snapshot(func(j *Job) bool { return j.State == StateQueued })
+}
+
+func (m *memMeta) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.jobs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (m *memMeta) StateCounts() (queued, running, done, failed, canceled int64) {
+	return m.queued.Load(), m.running.Load(), m.done.Load(),
+		m.failed.Load(), m.canceled.Load()
+}
+
+func (m *memMeta) Close() error { return nil }

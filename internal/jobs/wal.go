@@ -1,0 +1,349 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// walRec is one journal line: a self-contained JSON record of a lifecycle
+// transition. Only three ops exist — create, finish, remove — because only
+// those must survive a crash. Start is deliberately not journaled: recovery
+// re-queues interrupted jobs anyway, so a job that was running at the crash
+// replays as queued, which is exactly the documented recovery semantics.
+type walRec struct {
+	Op   string `json:"op"` // "create" | "finish" | "remove"
+	ID   string `json:"id"`
+	Gen  uint64 `json:"gen,omitempty"`
+	Kind Kind   `json:"kind,omitempty"`
+	// finish-only fields.
+	State State       `json:"state,omitempty"` // done | failed | canceled
+	Err   string      `json:"err,omitempty"`
+	Info  *ResultInfo `json:"info,omitempty"`
+	// T is the transition time (create or finish), Exp the TTL deadline,
+	// both unix nanoseconds.
+	T   int64   `json:"t,omitempty"`
+	Exp int64   `json:"exp,omitempty"`
+	P   *Params `json:"p,omitempty"`
+}
+
+// durMeta is the durable MetaStore: it embeds the in-memory implementation
+// for all reads and state logic and appends a fsynced journal record for
+// every applied create/finish/remove, so replaying the journal rebuilds the
+// exact metadata. mu serializes the memory transition with its journal
+// append — without it two racing transitions could journal in the opposite
+// order they applied, and a replay would resurrect the loser.
+type durMeta struct {
+	mem *memMeta
+
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	appends int // records since open/compaction, drives compaction
+}
+
+// openDurMeta opens (or creates) the journal at path and replays it.
+// Finished jobs whose TTL already lapsed are not installed (their blobs are
+// swept as orphans by the caller); everything else comes back exactly as
+// journaled, with running-at-crash jobs as queued. A torn trailing record —
+// the one crash artifact an append-only journal can have — is truncated; a
+// torn or foreign record mid-file stops the replay there and truncates the
+// rest, favouring serving the prefix over refusing to start.
+func openDurMeta(path string, shards int, now time.Time) (*durMeta, error) {
+	d := &durMeta{mem: newMemMeta(shards), path: path}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	jobs, maxGen, goodLen := replay(data)
+	if goodLen < len(data) {
+		if err := os.Truncate(path, int64(goodLen)); err != nil {
+			return nil, fmt.Errorf("jobs: truncate torn journal: %w", err)
+		}
+	}
+	live := 0
+	for _, j := range jobs {
+		if !j.ExpiresAt.IsZero() && now.After(j.ExpiresAt) {
+			continue
+		}
+		d.mem.install(*j)
+		live++
+	}
+	// Seed the generation counter past every journaled generation — also
+	// the removed and expired ones, so a fresh entry never reuses a
+	// generation that stale on-disk artifacts might still carry.
+	for {
+		cur := d.mem.gen.Load()
+		if maxGen <= cur || d.mem.gen.CompareAndSwap(cur, maxGen) {
+			break
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	d.f = f
+	// Replay counts toward the compaction budget: a journal full of dead
+	// records compacts on the first sweep instead of growing forever.
+	d.appends = bytes.Count(data[:goodLen], []byte{'\n'})
+	if live == 0 && d.appends > 0 {
+		d.mu.Lock()
+		d.compactLocked()
+		d.mu.Unlock()
+	}
+	return d, nil
+}
+
+// replay decodes the journal into the surviving job set. It returns the
+// byte length of the valid record prefix; callers truncate the file there.
+func replay(data []byte) (jobs map[string]*Job, maxGen uint64, goodLen int) {
+	jobs = make(map[string]*Job)
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn trailing record
+		}
+		line := data[off : off+nl]
+		var rec walRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		if rec.Gen > maxGen {
+			maxGen = rec.Gen
+		}
+		switch rec.Op {
+		case "create":
+			j := &Job{
+				ID:      rec.ID,
+				Gen:     rec.Gen,
+				Kind:    rec.Kind,
+				State:   StateQueued,
+				Created: time.Unix(0, rec.T),
+			}
+			if rec.P != nil {
+				j.Params = *rec.P
+			}
+			jobs[rec.ID] = j
+		case "finish":
+			if j, ok := jobs[rec.ID]; ok && j.Gen == rec.Gen {
+				j.State = rec.State
+				j.Err = rec.Err
+				j.Info = rec.Info
+				j.Finished = time.Unix(0, rec.T)
+				if rec.Exp != 0 {
+					j.ExpiresAt = time.Unix(0, rec.Exp)
+				}
+			}
+		case "remove":
+			delete(jobs, rec.ID)
+		default:
+			// Unknown op from a newer format: stop at the last understood
+			// record rather than guessing.
+			return jobs, maxGen, off
+		}
+		off += nl + 1
+	}
+	return jobs, maxGen, off
+}
+
+// appendLocked journals one record with write+fsync; callers hold d.mu so
+// journal order matches apply order.
+func (d *durMeta) appendLocked(rec walRec) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // walRec contains only marshalable fields; unreachable
+	}
+	line = append(line, '\n')
+	if _, err := d.f.Write(line); err != nil {
+		return // best effort: the in-memory state remains authoritative
+	}
+	d.f.Sync()
+	d.appends++
+}
+
+// compactLocked rewrites the journal as a minimal snapshot of the live job
+// set (one create record per job, plus a finish record for finished ones),
+// atomically via temp file + rename, and resets the append budget.
+func (d *durMeta) compactLocked() {
+	var buf bytes.Buffer
+	n := 0
+	for _, j := range d.mem.snapshot(func(*Job) bool { return true }) {
+		p := j.Params
+		line, err := json.Marshal(walRec{
+			Op: "create", ID: j.ID, Gen: j.Gen, Kind: j.Kind,
+			T: j.Created.UnixNano(), P: &p,
+		})
+		if err != nil {
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		n++
+		if j.State.Finished() {
+			line, err = json.Marshal(walRec{
+				Op: "finish", ID: j.ID, Gen: j.Gen, State: j.State,
+				Err: j.Err, Info: j.Info,
+				T: j.Finished.UnixNano(), Exp: j.ExpiresAt.UnixNano(),
+			})
+			if err != nil {
+				continue
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+			n++
+		}
+	}
+	tmp := d.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	f.Close()
+	if err := os.Rename(tmp, d.path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	nf, err := os.OpenFile(d.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The snapshot replaced the journal but reopening failed; keep the
+		// old handle (it appends to the unlinked file — durability degrades
+		// to the snapshot until the next successful compaction).
+		return
+	}
+	d.f.Close()
+	d.f = nf
+	d.appends = n
+}
+
+// maybeCompactLocked compacts once dead records dominate: the journal holds
+// at least compactMinAppends records and at least 4x the live snapshot.
+const compactMinAppends = 1024
+
+func (d *durMeta) maybeCompactLocked() {
+	if d.appends >= compactMinAppends && d.appends >= 4*(2*d.mem.Len()) {
+		d.compactLocked()
+	}
+}
+
+func (d *durMeta) CreateOrGet(id string, kind Kind, p Params, now time.Time) (Job, bool, *Job) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, existed, replaced := d.mem.CreateOrGet(id, kind, p, now)
+	if !existed {
+		// One create record both registers the fresh job and supersedes the
+		// replaced one on replay (same ID, later record wins).
+		pc := p
+		d.appendLocked(walRec{
+			Op: "create", ID: id, Gen: j.Gen, Kind: kind,
+			T: now.UnixNano(), P: &pc,
+		})
+	}
+	return j, existed, replaced
+}
+
+func (d *durMeta) SetQueuePos(id string, gen uint64, pos int) {
+	d.mem.SetQueuePos(id, gen, pos) // ephemeral; not journaled
+}
+
+func (d *durMeta) Start(id string, gen uint64, now time.Time) (Job, bool) {
+	return d.mem.Start(id, gen, now) // not journaled by design; see walRec
+}
+
+func (d *durMeta) finish(op State, id string, gen uint64, msg string, info *ResultInfo, now, expires time.Time,
+	apply func() (Job, bool)) (Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := apply()
+	if ok {
+		d.appendLocked(walRec{
+			Op: "finish", ID: id, Gen: gen, State: op, Err: msg, Info: info,
+			T: now.UnixNano(), Exp: expires.UnixNano(),
+		})
+	}
+	return j, ok
+}
+
+func (d *durMeta) Complete(id string, gen uint64, info *ResultInfo, now, expires time.Time) (Job, bool) {
+	return d.finish(StateDone, id, gen, "", info, now, expires, func() (Job, bool) {
+		return d.mem.Complete(id, gen, info, now, expires)
+	})
+}
+
+func (d *durMeta) Fail(id string, gen uint64, msg string, now, expires time.Time) (Job, bool) {
+	return d.finish(StateFailed, id, gen, msg, nil, now, expires, func() (Job, bool) {
+		return d.mem.Fail(id, gen, msg, now, expires)
+	})
+}
+
+func (d *durMeta) Cancel(id string, gen uint64, msg string, now, expires time.Time) (Job, bool) {
+	return d.finish(StateCanceled, id, gen, msg, nil, now, expires, func() (Job, bool) {
+		return d.mem.Cancel(id, gen, msg, now, expires)
+	})
+}
+
+func (d *durMeta) Get(id string) (Job, bool) { return d.mem.Get(id) }
+
+func (d *durMeta) Remove(id string) (Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.mem.Remove(id)
+	if ok {
+		d.appendLocked(walRec{Op: "remove", ID: id, Gen: j.Gen})
+	}
+	return j, ok
+}
+
+func (d *durMeta) Evict(id string, gen uint64) (Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.mem.Evict(id, gen)
+	if ok {
+		d.appendLocked(walRec{Op: "remove", ID: id, Gen: gen})
+	}
+	return j, ok
+}
+
+func (d *durMeta) Sweep(now time.Time) []Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dropped := d.mem.Sweep(now)
+	for i := range dropped {
+		d.appendLocked(walRec{Op: "remove", ID: dropped[i].ID, Gen: dropped[i].Gen})
+	}
+	d.maybeCompactLocked()
+	return dropped
+}
+
+func (d *durMeta) Finished() []Job { return d.mem.Finished() }
+func (d *durMeta) Queued() []Job   { return d.mem.Queued() }
+func (d *durMeta) Len() int        { return d.mem.Len() }
+
+func (d *durMeta) StateCounts() (queued, running, done, failed, canceled int64) {
+	return d.mem.StateCounts()
+}
+
+func (d *durMeta) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	d.f.Sync()
+	err := d.f.Close()
+	d.f = nil
+	return err
+}

@@ -52,7 +52,7 @@ func TestChaosFaultInjection(t *testing.T) {
 
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
-	store := jobs.NewStore(jobs.Options{TTL: time.Hour})
+	store := newTestJobStore(t, jobs.Options{TTL: time.Hour})
 	eng := NewEngine(Config{Workers: 4, QueueDepth: 16, Threads: 1})
 	h := NewHandler(eng, HandlerConfig{
 		Jobs:           store,

@@ -104,17 +104,17 @@ func jobJSONFrom(j jobs.Job, dedup bool) jobJSON {
 		}
 		out.Trace = tr
 	}
-	if r := j.Result; r != nil {
-		out.Width, out.Height, out.NumComponents = r.Width, r.Height, r.NumComponents
+	if info := j.Info; info != nil {
+		out.Width, out.Height, out.NumComponents = info.Width, info.Height, info.NumComponents
 		if out.Trace != nil {
-			out.Trace.DecodeNs = r.DecodeNs
+			out.Trace.DecodeNs = info.DecodeNs
 		}
-		if r.Phases.Total() > 0 {
+		if info.Phases.Total() > 0 {
 			out.Phases = &phasesJSON{
-				ScanNs:    r.Phases.Scan.Nanoseconds(),
-				MergeNs:   r.Phases.Merge.Nanoseconds(),
-				FlattenNs: r.Phases.Flatten.Nanoseconds(),
-				RelabelNs: r.Phases.Relabel.Nanoseconds(),
+				ScanNs:    info.Phases.Scan.Nanoseconds(),
+				MergeNs:   info.Phases.Merge.Nanoseconds(),
+				FlattenNs: info.Phases.Flatten.Nanoseconds(),
+				RelabelNs: info.Phases.Relabel.Nanoseconds(),
 			}
 		}
 	}
@@ -277,33 +277,72 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 
 // submitJob creates (or dedups to) the job for one image payload — ct is
 // its declared Content-Type ("" sniffs, matching /v1/label's rules) — and
-// hands new work to the engine. shedErr is non-nil (ErrQueueFull or
-// ErrClosed) when the engine rejected the image; the job is then marked
-// failed — not removed, since a concurrent identical submission may
-// already have dedup'd to its ID — and failed jobs are replaced on
-// resubmission.
+// hands new work to the engine via admitJob. shedErr is non-nil
+// (ErrQueueFull or ErrClosed) when the engine rejected the image; the job
+// is then marked failed — not removed, since a concurrent identical
+// submission may already have dedup'd to its ID — and failed jobs are
+// replaced on resubmission.
 func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.Options, level float64, bandRows int) (entry jobJSON, shedErr error) {
 	// paremsp.JobKey owns the key normalization (default algorithm and
 	// connectivity, the band labeler for stats jobs, level zeroed for raw
 	// PBM), so client-side precomputed IDs match the server's.
 	id := paremsp.JobKey(kind, opt.Algorithm, opt.Connectivity, level, body)
+	p := jobs.Params{
+		Alg:         string(opt.Algorithm),
+		Conn:        opt.Connectivity,
+		Level:       level,
+		Threads:     opt.Threads,
+		BandRows:    bandRows,
+		ContentType: ct,
+	}
 
-	j, existed := h.jobs.CreateOrGet(id, kind)
+	j, existed := h.jobs.CreateOrGet(id, kind, p, body)
 	if existed {
 		return jobJSONFrom(j, true), nil
 	}
-
-	// New job: decode the payload and admit it to the engine queue. The
-	// job's lifetime exceeds the HTTP request's, so it runs under the
-	// server-lifetime base context — not the request's, which dies when the
-	// 202 is written, and not Background, which a drain could never cancel —
-	// bounded by -job-timeout when configured. Its completion callback runs
-	// on a goroutine that outlives this handler. Every transition targets
-	// this entry's generation, so if the job is deleted and recreated under
-	// the same ID these callbacks cannot touch the replacement.
 	gen := j.Gen
+	if err := h.admitJob(id, gen, kind, body, p); err != nil {
+		// Decode failure, queue backpressure or shutdown: fail the
+		// placeholder rather than removing it — a concurrent identical
+		// submission may already hold this ID, and a failed job is
+		// observable (then replaced on retry) where a vanished one would
+		// 404. Only engine rejections count as shed for the batch verdict.
+		h.jobs.Fail(id, gen, err)
+		j, _ := h.jobs.Get(id)
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			return jobJSONFrom(j, false), err
+		}
+		return jobJSONFrom(j, false), nil
+	}
+	j, _ = h.jobs.Get(id)
+	return jobJSONFrom(j, false), nil
+}
+
+// admitJob decodes one job's payload and admits it to the engine queue,
+// wiring the completion callback that lands the terminal state in the
+// store. It is the shared admission path for fresh submissions and for
+// recovery resubmission after a restart (RecoverJobs), which is why it
+// takes the store-journaled Params rather than parsed request state. It
+// does not transition the job on error — callers decide between Fail
+// (submission) and Cancel (recovery).
+//
+// The job's lifetime exceeds the HTTP request's, so it runs under the
+// server-lifetime base context — not the request's, which dies when the
+// 202 is written, and not Background, which a drain could never cancel —
+// bounded by -job-timeout when configured. The context is always
+// cancelable and registered with the store, so DELETE on a queued or
+// running job aborts the computation and releases its worker. Every
+// transition targets this entry's generation, so if the job is deleted
+// and recreated under the same ID these callbacks cannot touch the
+// replacement.
+func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p jobs.Params) error {
+	opt := paremsp.Options{
+		Algorithm:    paremsp.Algorithm(p.Alg),
+		Connectivity: p.Conn,
+		Threads:      p.Threads,
+	}
 	onStart := func() { h.jobs.Start(id, gen) }
-	jctx, jcancel := h.baseCtx, context.CancelFunc(func() {})
+	jctx, jcancel := context.WithCancel(h.baseCtx)
 	if h.jobTimeout > 0 {
 		jctx, jcancel = context.WithTimeout(h.baseCtx, h.jobTimeout)
 	}
@@ -315,21 +354,19 @@ func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 	)
 	decodeStart := time.Now()
 	if kind == jobs.KindStats {
-		src, derr := pnm.NewBandReaderBytes(body, level)
+		src, derr := pnm.NewBandReaderBytes(body, p.Level)
 		if derr != nil {
 			jcancel()
-			h.jobs.Fail(id, gen, derr)
-			j, _ := h.jobs.Get(id)
-			return jobJSONFrom(j, false), nil
+			return derr
 		}
 		width, height = src.Width(), src.Height()
-		sub, err = h.engine.SubmitStats(jctx, src, band.Options{BandRows: bandRows, Ctx: jctx}, onStart)
+		sub, err = h.engine.SubmitStats(jctx, src, band.Options{BandRows: p.BandRows, Ctx: jctx}, onStart)
 	} else {
 		br := bufio.NewReader(bytes.NewReader(body))
-		bkind, derr := bodyKind(ct, br)
+		bkind, derr := bodyKind(p.ContentType, br)
 		if derr == nil {
 			var d decoded
-			if d, derr = h.decodeRaster(bkind, br, opt.Algorithm, level); derr == nil {
+			if d, derr = h.decodeRaster(bkind, br, opt.Algorithm, p.Level); derr == nil {
 				width, height, density = d.width, d.height, d.density
 				if d.bm != nil {
 					sub, err = h.engine.SubmitBitmap(jctx, d.bm, opt, onStart)
@@ -340,22 +377,18 @@ func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 		}
 		if derr != nil {
 			jcancel()
-			h.jobs.Fail(id, gen, derr)
-			j, _ := h.jobs.Get(id)
-			return jobJSONFrom(j, false), nil
+			return derr
 		}
 	}
 	if err != nil {
-		// Queue backpressure (or shutdown): fail the placeholder rather
-		// than removing it — a concurrent identical submission may already
-		// hold this ID, and a failed job is observable (then replaced on
-		// retry) where a vanished one would 404.
 		jcancel()
-		h.jobs.Fail(id, gen, err)
-		j, _ := h.jobs.Get(id)
-		return jobJSONFrom(j, false), err
+		return err
 	}
 	decodeNs := time.Since(decodeStart).Nanoseconds()
+	// Registered after a successful submit: the store now owns firing
+	// jcancel on DELETE, and drops the registration on any terminal
+	// transition.
+	h.jobs.RegisterCancel(id, gen, jcancel)
 	h.jobs.SetQueuePos(id, gen, sub.QueuePosition())
 
 	go func() {
@@ -365,9 +398,10 @@ func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 		jcancel()
 		if werr != nil {
 			// A context error is a cancellation (client gave up via timeout,
-			// or the server drained), not a computation failure; land the
-			// job in the canceled terminal state so clients and metrics can
-			// tell the two apart. Resubmitting a canceled job re-runs it.
+			// DELETE canceled the job, or the server drained), not a
+			// computation failure; land the job in the canceled terminal
+			// state so clients and metrics can tell the two apart.
+			// Resubmitting a canceled job re-runs it.
 			if errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded) {
 				h.jobs.Cancel(id, gen, werr)
 			} else {
@@ -375,10 +409,12 @@ func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 			}
 			return
 		}
-		jr := &jobs.Result{Width: width, Height: height, Density: density, DecodeNs: decodeNs}
+		jr := &jobs.Result{ResultInfo: jobs.ResultInfo{
+			Width: width, Height: height, Density: density, DecodeNs: decodeNs,
+		}}
 		if bres != nil {
 			jr.Stats = bres
-			jr.BandRows = bandRows
+			jr.BandRows = p.BandRows
 			jr.Width, jr.Height, jr.NumComponents = bres.Width, bres.Height, bres.NumComponents
 			if px := int64(bres.Width) * int64(bres.Height); px > 0 {
 				jr.Density = float64(bres.ForegroundPixels) / float64(px)
@@ -395,9 +431,20 @@ func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.
 		}
 		h.jobs.Complete(id, gen, jr)
 	}()
+	return nil
+}
 
-	j, _ = h.jobs.Get(id)
-	return jobJSONFrom(j, false), nil
+// RecoverJobs resubmits every queued job the durable store replayed from
+// its journal — including jobs that were running when the process died,
+// which replay as queued — through the normal admission path. Jobs whose
+// input is gone or that the engine refuses are canceled with a "recovery:"
+// reason, a documented terminal state clients can observe. It returns how
+// many jobs were requeued and how many canceled; on the memory backend
+// both are zero. Call it after the engine is up and before serving.
+func (h *Handler) RecoverJobs() (requeued, canceled int) {
+	return h.jobs.Recover(func(j jobs.Job, input []byte) error {
+		return h.admitJob(j.ID, j.Gen, j.Kind, input, j.Params)
+	})
 }
 
 // jobStatus handles GET /v1/jobs/{id}: the job's state, timestamps, queue
@@ -427,7 +474,18 @@ func (h *Handler) jobResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, jobJSONFrom(j, false))
 		return
 	}
-	res := j.Result
+	// The payload lives in the store's blob backend (RAM, or disk when the
+	// durable backend spilled it), not on the job snapshot.
+	res, err := h.jobs.Result(j.ID)
+	if err != nil {
+		if errors.Is(err, jobs.ErrNoBlob) {
+			// The job was evicted or deleted between the Get and the fetch.
+			http.Error(w, "unknown job", http.StatusNotFound)
+			return
+		}
+		http.Error(w, fmt.Sprintf("read result: %v", err), http.StatusInternalServerError)
+		return
+	}
 	if res.Stats != nil {
 		if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
 			http.Error(w, fmt.Sprintf("unsupported Accept %q (stats results are %s)",
@@ -462,8 +520,10 @@ func (h *Handler) jobResult(w http.ResponseWriter, r *http.Request) {
 
 // jobDelete handles DELETE /v1/jobs/{id}: the job and its retained result
 // are dropped immediately instead of waiting for TTL eviction. Deleting a
-// queued or running job does not stop the computation, only discards its
-// outcome.
+// queued or running job also cancels its computation — the store fires the
+// context registered at admission, so a queued job never reaches a worker
+// and a running one aborts at its next cancellation poll, releasing the
+// worker for other requests.
 func (h *Handler) jobDelete(w http.ResponseWriter, r *http.Request) {
 	if !h.jobs.Remove(r.PathValue("id")) {
 		http.Error(w, "unknown job", http.StatusNotFound)

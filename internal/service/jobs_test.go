@@ -9,6 +9,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,10 +21,29 @@ import (
 	"repro/internal/jobs"
 )
 
+// newTestJobStore builds a job store for a test, honoring
+// CCSERVE_TEST_JOB_STORE=sqlite so CI can run the whole service suite
+// against the durable backend; unset or "memory" keeps the in-memory
+// default.
+func newTestJobStore(t *testing.T, jopt jobs.Options) *jobs.Store {
+	t.Helper()
+	if b := os.Getenv("CCSERVE_TEST_JOB_STORE"); b != "" {
+		jopt.Backend = b
+	}
+	if jopt.Backend != "" && jopt.Backend != jobs.BackendMemory {
+		jopt.Dir = t.TempDir()
+	}
+	store, err := jobs.Open(jopt)
+	if err != nil {
+		t.Fatalf("open job store: %v", err)
+	}
+	return store
+}
+
 // newJobsServer is newTestServer with the async job API enabled.
 func newJobsServer(t *testing.T, ecfg Config, jopt jobs.Options) (*Engine, *jobs.Store, *httptest.Server) {
 	t.Helper()
-	store := jobs.NewStore(jopt)
+	store := newTestJobStore(t, jopt)
 	eng := NewEngine(ecfg)
 	srv := httptest.NewServer(NewHandler(eng, HandlerConfig{Jobs: store}))
 	t.Cleanup(func() {

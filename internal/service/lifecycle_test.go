@@ -103,7 +103,7 @@ func TestLabelRequestTimeout504(t *testing.T) {
 // read endpoints keep answering, and Engine.Drain finishes promptly when
 // the running job completes.
 func TestDrainLifecycle(t *testing.T) {
-	store := jobs.NewStore(jobs.Options{TTL: time.Hour})
+	store := newTestJobStore(t, jobs.Options{TTL: time.Hour})
 	eng := NewEngine(Config{Workers: 1, Threads: 1})
 	h := NewHandler(eng, HandlerConfig{Jobs: store})
 	srv := httptest.NewServer(h)
@@ -311,7 +311,7 @@ func TestWorkerPanicIsolation(t *testing.T) {
 // -job-timeout lands in the canceled terminal state (not failed), and a
 // resubmission of the identical payload replaces it instead of deduping.
 func TestJobTimeoutCancelsAndResubmitReruns(t *testing.T) {
-	store := jobs.NewStore(jobs.Options{TTL: time.Hour})
+	store := newTestJobStore(t, jobs.Options{TTL: time.Hour})
 	eng := NewEngine(Config{Workers: 1, Threads: 1})
 	srv := httptest.NewServer(NewHandler(eng, HandlerConfig{
 		Jobs:       store,
@@ -353,7 +353,7 @@ func TestJobTimeoutCancelsAndResubmitReruns(t *testing.T) {
 func TestJobDrainCancelsViaBaseContext(t *testing.T) {
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
-	store := jobs.NewStore(jobs.Options{TTL: time.Hour})
+	store := newTestJobStore(t, jobs.Options{TTL: time.Hour})
 	eng := NewEngine(Config{Workers: 1, QueueDepth: 2, Threads: 1})
 	srv := httptest.NewServer(NewHandler(eng, HandlerConfig{
 		Jobs:        store,
@@ -389,4 +389,62 @@ func TestJobDrainCancelsViaBaseContext(t *testing.T) {
 	close(release)
 	pollJob(t, srv.URL, queued.ID, string(jobs.StateCanceled))
 	pollJob(t, srv.URL, blocker.ID, string(jobs.StateCanceled))
+}
+
+// TestJobDeleteReleasesWorker pins the DELETE-cancellation contract:
+// deleting a queued or running job cancels its computation, not just the
+// bookkeeping. One worker: job A parks on its context mid-run, job B
+// queues behind it. Deleting B then A must unblock the worker without
+// ever running B, and the next synchronous request must find the worker
+// free — before cancel-on-Remove, A burned the worker until its context
+// timed out and B ran pointlessly afterwards.
+func TestJobDeleteReleasesWorker(t *testing.T) {
+	eng, _, srv := newJobsServer(t, Config{Workers: 1, Threads: 1}, jobs.Options{TTL: time.Hour})
+	started := make(chan struct{}, 1)
+	var runs atomic.Int32
+	eng.run = func(ctx context.Context, img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error) {
+		if runs.Add(1) == 1 {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return paremsp.LabelIntoCtx(ctx, img, dst, sc, opt)
+	}
+
+	a := submitJobs(t, srv.URL+"/v1/jobs", ctPBM, pbmBody(t, testImage(t))).Jobs[0]
+	<-started
+	b := submitJobs(t, srv.URL+"/v1/jobs?conn=4", ctPBM, pbmBody(t, testImage(t))).Jobs[0]
+	if a.ID == b.ID {
+		t.Fatal("connectivity did not split the job key")
+	}
+
+	for _, id := range []string{b.ID, a.ID} {
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("DELETE %s = %d, want 204", id, resp.StatusCode)
+		}
+	}
+
+	// Deleting A fired its context, so the parked run returns and releases
+	// the single worker; B's dead context makes the worker skip it without
+	// running. If DELETE did not cancel, this request would wait on the
+	// worker until the test timeout.
+	resp := post(t, srv.URL+"/v1/label", ctPBM, ctJSON, pbmBody(t, testImage(t)))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up label = %d, want 200 (worker not released?)", resp.StatusCode)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("run called %d times, want 2 (parked A + follow-up; deleted queued B must never run)", got)
+	}
 }

@@ -262,8 +262,13 @@ func writeJobsMetrics(w io.Writer, c jobs.Counts) (int64, error) {
 		{"gauge", "jobs_failed", "Failed async jobs retained for inspection.", c.Failed},
 		{"gauge", "jobs_canceled", "Canceled async jobs (client timeout, job timeout or server drain) retained for inspection.", c.Canceled},
 		{"gauge", "jobs_result_bytes", "Estimated memory pinned by retained job results.", c.ResultBytes},
+		{"gauge", "jobs_store_mem_bytes", "Estimated resident memory held by the job store (entry overhead plus in-RAM result payloads); equals ccserve_jobs_result_bytes, split out for symmetry with the disk gauge.", c.ResultBytes},
+		{"gauge", "jobs_store_disk_bytes", "Bytes the durable job store holds on disk (result and pending-input blobs); 0 on the memory backend.", c.DiskBytes},
 		{"counter", "jobs_submitted_total", "Async jobs created (dedup hits excluded).", c.Submitted},
 		{"counter", "jobs_dedup_hits_total", "Submissions answered by an existing identical job.", c.DedupHits},
 		{"counter", "jobs_evicted_total", "Jobs evicted by TTL or the result-byte cap.", c.Evicted},
+		{"counter", "jobs_spilled_total", "Result payloads the durable store spilled from RAM to disk under the result-byte cap.", c.Spilled},
+		{"counter", "jobs_recovered_total", "Jobs resubmitted to the engine during startup recovery.", c.Recovered},
+		{"counter", "jobs_recovery_canceled_total", "Journaled jobs canceled during startup recovery (input lost or engine refused).", c.RecoveryCanceled},
 	})
 }

@@ -151,7 +151,7 @@ func labelKey(labels map[string]string) string {
 // histogram buckets are cumulative and non-decreasing, and the +Inf bucket
 // of every series equals its _count.
 func TestPromExpositionValid(t *testing.T) {
-	store := jobs.NewStore(jobs.Options{TTL: time.Minute})
+	store := newTestJobStore(t, jobs.Options{TTL: time.Minute})
 	eng := NewEngine(Config{Workers: 2})
 	srv := httptest.NewServer(NewHandler(eng, HandlerConfig{Jobs: store}))
 	defer func() { srv.Close(); eng.Close(); store.Close() }()
@@ -483,7 +483,7 @@ func TestJobStatusTrace(t *testing.T) {
 func TestObservabilityStress(t *testing.T) {
 	var logs syncWriter
 	obs := NewObs(slog.New(slog.NewJSONHandler(&logs, &slog.HandlerOptions{Level: slog.LevelDebug})), 64)
-	store := jobs.NewStore(jobs.Options{TTL: time.Minute})
+	store := newTestJobStore(t, jobs.Options{TTL: time.Minute})
 	eng := NewEngine(Config{Workers: 4})
 	srv := httptest.NewServer(NewHandler(eng, HandlerConfig{Jobs: store, Obs: obs}))
 	dbg := httptest.NewServer(NewDebugHandler(obs))

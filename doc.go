@@ -144,7 +144,9 @@
 // driver is linked; the name selects the durability semantics) and result
 // blobs plus pending inputs live as content-addressed files under
 // -job-dir, so -job-max-bytes overflow spills result payloads to disk
-// instead of evicting them.
+// instead of evicting them. The store directory is flock-ed exclusively
+// while open: a second process on the same -job-dir fails fast rather than
+// interleaving journal appends with the first.
 //
 // On startup with the durable backend, ccserve recovers before accepting
 // traffic: finished jobs come back with their results fetchable
@@ -155,7 +157,10 @@
 // observable, and re-runnable by resubmitting. Metrics split the store's
 // footprint (ccserve_jobs_store_mem_bytes / ccserve_jobs_store_disk_bytes)
 // and count spills and recovery outcomes (ccserve_jobs_spilled_total,
-// ccserve_jobs_recovered_total, ccserve_jobs_recovery_canceled_total).
+// ccserve_jobs_recovered_total, ccserve_jobs_recovery_canceled_total);
+// ccserve_jobs_journal_errors_total counts journal appends that failed to
+// reach disk — the store keeps serving, but nonzero means restart recovery
+// may lose or resurrect jobs, so alert on it.
 //
 // # Operational guarantees
 //

@@ -26,7 +26,11 @@ type BlobStats struct {
 // stale one.
 type BlobStore interface {
 	// Put stores the result payload for (id, gen), replacing any previous
-	// payload under the same key.
+	// payload stored under the same id at the same or an older generation.
+	// If the stored payload is a NEWER generation the put is dropped: the
+	// caller is a stale completion racing a resubmitted job, and its
+	// generation-checked metadata transition is about to no-op too — the
+	// newer payload must survive the race.
 	Put(id string, gen uint64, r *Result) error
 	// Open returns the payload for (id, gen), reading it back from disk if
 	// the RAM copy was spilled. ErrNoBlob if absent.
@@ -77,6 +81,12 @@ func (b *memBlobs) Put(id string, gen uint64, r *Result) error {
 	size := resultBytes(r)
 	b.mu.Lock()
 	if old, ok := b.results[id]; ok {
+		if old.gen > gen {
+			// Stale completion racing a resubmitted job: the newer payload
+			// wins (see BlobStore.Put).
+			b.mu.Unlock()
+			return nil
+		}
 		b.memBytes -= old.size
 	}
 	b.results[id] = memBlob{gen: gen, r: r, size: size}

@@ -355,3 +355,113 @@ func TestDurableJournalCompaction(t *testing.T) {
 		t.Fatalf("survivor result after compaction: %+v, %v", r, err)
 	}
 }
+
+// TestDurableStaleCompleteKeepsFreshBlobOnDisk: the durable variant of the
+// stale-complete race — the stale Put must not delete the fresh
+// generation's .res file, so the fresh result survives a reopen.
+func TestDurableStaleCompleteKeepsFreshBlobOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Now()}
+	s := openDurable(t, dir, clk, Options{})
+	old, _ := s.CreateOrGet("id", KindLabels, Params{}, []byte("in"))
+	s.Start("id", old.Gen)
+	s.Remove("id")
+	fresh, _ := s.CreateOrGet("id", KindLabels, Params{}, []byte("in"))
+	s.Start("id", fresh.Gen)
+	s.Complete("id", fresh.Gen, labelsResult(10, 2))
+	s.Complete("id", old.Gen, labelsResult(10, 1))
+	s.Close()
+
+	s2 := openDurable(t, dir, clk, Options{})
+	defer s2.Close()
+	r, err := s2.Result("id")
+	if err != nil {
+		t.Fatalf("Result after reopen: %v", err)
+	}
+	for k := range r.Labels.L {
+		if r.Labels.L[k] != 2 {
+			t.Fatalf("label[%d] = %d after reopen, want the fresh result's 2", k, r.Labels.L[k])
+		}
+	}
+}
+
+// TestDurableGetAfterCloseDoesNotEvict: mutations after Close are no-ops,
+// and that must include Get's lazy TTL eviction — with the journal closed
+// the eviction cannot be recorded, so deleting the blobs would leave the
+// next Open resurrecting a done job with no result.
+func TestDurableGetAfterCloseDoesNotEvict(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Now()}
+	s := openDurable(t, dir, clk, Options{TTL: time.Minute})
+	j, _ := s.CreateOrGet("late", KindLabels, Params{}, nil)
+	s.Complete("late", j.Gen, labelsResult(10, 1))
+	s.Close()
+
+	clk.Advance(2 * time.Minute)
+	if _, ok := s.Get("late"); ok {
+		t.Fatal("expired job still served after Close")
+	}
+	if got := s.Counts().Evicted; got != 0 {
+		t.Fatalf("post-Close Get evicted %d jobs, want 0", got)
+	}
+	resPath := filepath.Join(dir, "blobs", fmt.Sprintf("late-%d.res", j.Gen))
+	if _, err := os.Stat(resPath); err != nil {
+		t.Fatalf("post-Close Get removed the result blob: %v", err)
+	}
+}
+
+// TestDurableJournalAppendErrorSurfaced: a failing journal append (the
+// stand-in here is a read-only handle; in production ENOSPC or a yanked
+// disk) must keep the in-memory state serving but be counted, so operators
+// see the divergence in /metrics instead of discovering it at the next
+// restart.
+func TestDurableJournalAppendErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Now()}
+	s := openDurable(t, dir, clk, Options{})
+	defer s.Close()
+
+	dm := s.meta.(*durMeta)
+	ro, err := os.Open(filepath.Join(dir, "meta.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.mu.Lock()
+	good := dm.f
+	dm.f = ro
+	dm.mu.Unlock()
+
+	j, _ := s.CreateOrGet("noisy", KindLabels, Params{}, nil)
+	s.Fail("noisy", j.Gen, errors.New("x"))
+	if got := s.Counts().JournalErrors; got != 2 {
+		t.Fatalf("JournalErrors = %d, want 2 (create + finish)", got)
+	}
+	// The in-memory state stayed authoritative through the failures.
+	if got, _ := s.Get("noisy"); got.State != StateFailed {
+		t.Fatalf("job = %+v, want failed despite journal errors", got)
+	}
+
+	dm.mu.Lock()
+	dm.f = good
+	dm.mu.Unlock()
+	ro.Close()
+}
+
+// TestDurableDirExclusiveLock: two stores must never share a directory —
+// the second open fails fast while the first holds the flock, and Close
+// releases it.
+func TestDurableDirExclusiveLock(t *testing.T) {
+	if !flockSupported {
+		t.Skip("no flock on this platform")
+	}
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Now()}
+	s := openDurable(t, dir, clk, Options{})
+	if _, err := open(Options{Backend: BackendSQLite, Dir: dir, TTL: time.Hour}, clk.Now); err == nil {
+		t.Fatal("second open of a locked store dir succeeded")
+	}
+	s.Close()
+
+	s2 := openDurable(t, dir, clk, Options{})
+	s2.Close()
+}

@@ -182,6 +182,15 @@ func (b *fsBlobs) Put(id string, gen uint64, r *Result) error {
 	diskSize := int64(len(data))
 	b.mu.Lock()
 	if old, ok := b.results[id]; ok {
+		if old.gen > gen {
+			// Stale completion racing a resubmitted job: the newer payload
+			// wins (see BlobStore.Put). The paths are gen-keyed, so the
+			// just-written stale file never clobbered the newer one; discard
+			// it.
+			b.mu.Unlock()
+			os.Remove(b.resPath(id, gen))
+			return nil
+		}
 		b.memBytes -= old.memSize
 		b.diskBytes -= old.diskSize
 		if old.gen != gen {
@@ -237,6 +246,14 @@ func (b *fsBlobs) PutInput(id string, gen uint64, data []byte) error {
 	}
 	b.mu.Lock()
 	if old, ok := b.inputs[id]; ok {
+		if old.gen > gen {
+			// Same newer-generation-wins rule as Put: a delayed persist for a
+			// removed-and-resubmitted job must not clobber the input the
+			// replacement needs for recovery.
+			b.mu.Unlock()
+			os.Remove(b.inPath(id, gen))
+			return nil
+		}
 		b.diskBytes -= old.size
 		if old.gen != gen {
 			os.Remove(b.inPath(id, old.gen))

@@ -231,8 +231,10 @@ type Options struct {
 	// Backend selects the storage backend: BackendMemory ("" or "memory")
 	// or BackendSQLite ("sqlite"/"disk", durable; requires Dir).
 	Backend string
-	// Dir is the durable backend's directory: a meta.wal journal plus a
-	// blobs/ subdirectory. Ignored by the memory backend.
+	// Dir is the durable backend's directory: a meta.wal journal, a blobs/
+	// subdirectory and a LOCK file flock-ed exclusively while the store is
+	// open — a second process opening the same Dir fails fast instead of
+	// corrupting the journal. Ignored by the memory backend.
 	Dir string
 	// Shards is the number of mutex-sharded job maps. 0 selects 16.
 	Shards int
@@ -299,7 +301,16 @@ type Counts struct {
 	// interrupted jobs successfully resubmitted vs. canceled because their
 	// input was lost or resubmission failed.
 	Recovered, RecoveryCanceled int64
+	// JournalErrors counts durable-journal append failures (write or fsync;
+	// ENOSPC is the classic cause). Nonzero means the on-disk journal has
+	// diverged from the serving state: a restart may lose or resurrect
+	// jobs. 0 on the memory backend.
+	JournalErrors int64
 }
+
+// journalHealth is implemented by MetaStores that journal transitions and
+// can report append failures; the façade polls it for Counts.
+type journalHealth interface{ JournalErrors() int64 }
 
 // Store is the job store façade: it owns the clock, TTL policy, sweeper
 // goroutine, event emission, byte-cap policy and the cancel registry, and
@@ -335,6 +346,10 @@ type Store struct {
 
 	// now is the clock, injected via open so tests drive TTL expiry.
 	now func() time.Time
+
+	// lock is the durable backend's exclusive store-directory flock, held
+	// from open until Close; nil on the memory backend.
+	lock *os.File
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -417,13 +432,19 @@ func open(opt Options, now func() time.Time) (*Store, error) {
 		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("jobs: create store dir: %w", err)
 		}
+		lock, err := lockDir(opt.Dir)
+		if err != nil {
+			return nil, err
+		}
 		dm, err := openDurMeta(filepath.Join(opt.Dir, "meta.wal"), n, now())
 		if err != nil {
+			unlockDir(lock)
 			return nil, err
 		}
 		fb, err := openFSBlobs(filepath.Join(opt.Dir, "blobs"))
 		if err != nil {
 			dm.Close()
+			unlockDir(lock)
 			return nil, err
 		}
 		// Adopt exactly the blobs the replayed metadata still references
@@ -441,10 +462,12 @@ func open(opt Options, now func() time.Time) (*Store, error) {
 		}
 		if err := fb.reconcile(keepRes, keepIn); err != nil {
 			dm.Close()
+			unlockDir(lock)
 			return nil, err
 		}
 		s.meta = dm
 		s.blobs = fb
+		s.lock = lock
 		s.durable = true
 	default:
 		return nil, fmt.Errorf("jobs: unknown backend %q", opt.Backend)
@@ -467,6 +490,7 @@ func (s *Store) Close() {
 	s.swept.Wait()
 	s.meta.Close()
 	s.blobs.Close()
+	unlockDir(s.lock)
 }
 
 // TTL returns the store's retention for finished jobs.
@@ -710,17 +734,24 @@ func (s *Store) evictOverflow(lowWater int64) {
 }
 
 // Get returns a snapshot of the job, evicting it first if its TTL has
-// lapsed (so expiry is observable without waiting for the sweeper).
+// lapsed (so expiry is observable without waiting for the sweeper). After
+// Close the eviction is skipped — mutations after Close are no-ops (see
+// Close): on the durable backend the journal can no longer record the
+// eviction, so deleting the blobs here would leave the next Open
+// resurrecting a done job whose result is gone. Expired jobs still read as
+// not-found; the next Open sweeps them consistently.
 func (s *Store) Get(id string) (Job, bool) {
 	j, ok := s.meta.Get(id)
 	if !ok {
 		return Job{}, false
 	}
 	if !j.ExpiresAt.IsZero() && s.now().After(j.ExpiresAt) {
-		if dropped, ok := s.meta.Evict(id, j.Gen); ok {
-			s.dropBlobs(&dropped)
-			s.evicted.Add(1)
-			s.emit(evictedEvent(&dropped))
+		if !s.closed.Load() {
+			if dropped, ok := s.meta.Evict(id, j.Gen); ok {
+				s.dropBlobs(&dropped)
+				s.evicted.Add(1)
+				s.emit(evictedEvent(&dropped))
+			}
 		}
 		return Job{}, false
 	}
@@ -834,6 +865,10 @@ func (s *Store) Len() int { return s.meta.Len() }
 func (s *Store) Counts() Counts {
 	queued, running, done, failed, canceled := s.meta.StateCounts()
 	bs := s.blobs.Stats()
+	var journalErrs int64
+	if jh, ok := s.meta.(journalHealth); ok {
+		journalErrs = jh.JournalErrors()
+	}
 	return Counts{
 		Queued:           queued,
 		Running:          running,
@@ -848,6 +883,7 @@ func (s *Store) Counts() Counts {
 		Spilled:          bs.Spilled,
 		Recovered:        s.recovered.Load(),
 		RecoveryCanceled: s.recoveryCanceled.Load(),
+		JournalErrors:    journalErrs,
 	}
 }
 

@@ -664,3 +664,37 @@ func TestRemoveFiresRegisteredCancel(t *testing.T) {
 		t.Fatal("Remove fired the cancel of an already-finished job")
 	}
 }
+
+// TestStaleCompleteDoesNotClobberFreshResult pins the blob half of the
+// generation contract in the order TestStaleGenerationIgnored does not
+// cover: the resubmitted job completes FIRST, then the stale goroutine
+// finishes. The stale Put must not replace the fresh payload — and the
+// stale Complete's cleanup Delete must not remove it — or the job reads
+// done with a permanently unfetchable result.
+func TestStaleCompleteDoesNotClobberFreshResult(t *testing.T) {
+	s, _ := newTestStore(t, Options{TTL: time.Hour})
+	old, _ := s.CreateOrGet("id", KindLabels, Params{}, []byte("in"))
+	s.Start("id", old.Gen)
+	s.Remove("id") // client deletes the running job...
+	fresh, existed := s.CreateOrGet("id", KindLabels, Params{}, []byte("in"))
+	if existed || fresh.Gen == old.Gen {
+		t.Fatalf("replacement = %+v (existed %v), want a fresh generation", fresh, existed)
+	}
+	s.Start("id", fresh.Gen)
+	s.Complete("id", fresh.Gen, labelsResult(10, 2)) // ...which re-completes first,
+	s.Complete("id", old.Gen, labelsResult(10, 1))   // then the stale goroutine lands.
+
+	j, ok := s.Get("id")
+	if !ok || j.State != StateDone || j.Gen != fresh.Gen {
+		t.Fatalf("job = %+v (ok=%v), want done at generation %d", j, ok, fresh.Gen)
+	}
+	r, err := s.Result("id")
+	if err != nil {
+		t.Fatalf("Result after stale complete: %v", err)
+	}
+	for k := range r.Labels.L {
+		if r.Labels.L[k] != 2 {
+			t.Fatalf("label[%d] = %d, want the fresh result's 2", k, r.Labels.L[k])
+		}
+	}
+}

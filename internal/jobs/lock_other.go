@@ -1,0 +1,13 @@
+//go:build !unix
+
+package jobs
+
+import "os"
+
+const flockSupported = false
+
+// lockDir is a no-op on platforms without flock: single-process use of a
+// store directory is then the operator's responsibility.
+func lockDir(string) (*os.File, error) { return nil, nil }
+
+func unlockDir(*os.File) {}

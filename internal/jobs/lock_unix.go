@@ -1,0 +1,40 @@
+//go:build unix
+
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// flockSupported reports whether lockDir actually enforces exclusivity on
+// this platform (tests skip the contention assertion where it cannot).
+const flockSupported = true
+
+// lockDir takes an exclusive advisory flock on a LOCK file inside the store
+// directory and fails fast if another process already holds it. Two
+// processes sharing a store directory would interleave journal appends,
+// race compaction renames and reconcile away each other's blobs as orphans,
+// so exclusivity is a correctness requirement, not a courtesy. The kernel
+// releases the lock when the descriptor closes — including on SIGKILL — so
+// a crash never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open store lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: store dir %s is already in use by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases a lockDir lock; closing the descriptor drops the flock.
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

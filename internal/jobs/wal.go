@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +45,14 @@ type durMeta struct {
 	f       *os.File
 	path    string
 	appends int // records since open/compaction, drives compaction
+
+	// journalErrs counts append write/fsync failures (ENOSPC, yanked disk):
+	// the in-memory state keeps serving, but the journal has diverged, so a
+	// later restart may lose or resurrect jobs. Exported through Counts as
+	// the ccserve_jobs_journal_errors_total metric; logOnce keeps a full
+	// disk from turning into a log storm.
+	journalErrs atomic.Int64
+	logOnce     sync.Once
 }
 
 // openDurMeta opens (or creates) the journal at path and replays it.
@@ -151,19 +161,43 @@ func replay(data []byte) (jobs map[string]*Job, maxGen uint64, goodLen int) {
 }
 
 // appendLocked journals one record with write+fsync; callers hold d.mu so
-// journal order matches apply order.
+// journal order matches apply order. The in-memory state remains
+// authoritative when the append fails, but the failure is surfaced — logged
+// once and counted — so operators notice the journal diverging before they
+// rely on restart recovery.
 func (d *durMeta) appendLocked(rec walRec) {
+	if d.f == nil {
+		return // closed: stragglers are documented no-ops, not journal errors
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return // walRec contains only marshalable fields; unreachable
 	}
 	line = append(line, '\n')
 	if _, err := d.f.Write(line); err != nil {
-		return // best effort: the in-memory state remains authoritative
+		d.noteJournalError("write", err)
+		return
 	}
-	d.f.Sync()
+	if err := d.f.Sync(); err != nil {
+		// The record reached the OS but maybe not the platter; the replayed
+		// state after a crash may be missing it.
+		d.noteJournalError("fsync", err)
+		return
+	}
 	d.appends++
 }
+
+func (d *durMeta) noteJournalError(op string, err error) {
+	d.journalErrs.Add(1)
+	d.logOnce.Do(func() {
+		slog.Error("jobs: journal append failed; in-memory state keeps serving but restart recovery may lose or resurrect jobs",
+			"op", op, "path", d.path, "err", err)
+	})
+}
+
+// JournalErrors reports how many journal appends have failed since open
+// (the journalHealth hook the Store façade polls for Counts).
+func (d *durMeta) JournalErrors() int64 { return d.journalErrs.Load() }
 
 // compactLocked rewrites the journal as a minimal snapshot of the live job
 // set (one create record per job, plus a finish record for finished ones),

@@ -270,5 +270,6 @@ func writeJobsMetrics(w io.Writer, c jobs.Counts) (int64, error) {
 		{"counter", "jobs_spilled_total", "Result payloads the durable store spilled from RAM to disk under the result-byte cap.", c.Spilled},
 		{"counter", "jobs_recovered_total", "Jobs resubmitted to the engine during startup recovery.", c.Recovered},
 		{"counter", "jobs_recovery_canceled_total", "Journaled jobs canceled during startup recovery (input lost or engine refused).", c.RecoveryCanceled},
+		{"counter", "jobs_journal_errors_total", "Durable job-journal append failures (write or fsync); nonzero means the journal has diverged and restart recovery may lose or resurrect jobs. 0 on the memory backend.", c.JournalErrors},
 	})
 }

@@ -137,17 +137,57 @@ func Algorithms() []Algorithm {
 	return out
 }
 
-// Options configures Label.
+// Mode selects the labeling predicate a request runs under. The binary mode
+// is the paper's subject; the others are the extension workloads
+// (gray-level, gray-tolerance, 3D volume) served by the same REMSP
+// machinery. Each mode has its own entry point — LabelIntoCtx for
+// ModeBinary, LabelGrayIntoCtx for ModeGray/ModeGrayDelta,
+// LabelVolumeIntoCtx for ModeVolume — and each entry point rejects the
+// modes it does not implement.
+type Mode string
+
+// Labeling modes.
+const (
+	// ModeBinary labels foreground components of a binary raster
+	// (the default; 4- or 8-connectivity per Options.Connectivity).
+	ModeBinary Mode = "binary"
+	// ModeGray labels maximal equal-value regions of a gray raster
+	// (8-connectivity; every pixel is labeled).
+	ModeGray Mode = "gray"
+	// ModeGrayDelta labels the transitive closure of |v(p)-v(q)| <= Delta
+	// over adjacent pixels of a gray raster (8-connectivity).
+	ModeGrayDelta Mode = "gray-delta"
+	// ModeVolume labels 26-connected components of a binary voxel volume.
+	ModeVolume Mode = "volume"
+)
+
+// Modes returns every mode name, sorted, for CLI -help output and the
+// service's request validation.
+func Modes() []Mode {
+	return []Mode{ModeBinary, ModeGray, ModeGrayDelta, ModeVolume}
+}
+
+// Options configures Label and the per-mode entry points.
 type Options struct {
-	// Algorithm to run; default AlgPAREMSP.
+	// Algorithm to run; default AlgPAREMSP. The gray and volume modes run
+	// the paper's pair-scan machinery only: AlgPAREMSP selects their
+	// chunk-parallel labeler, AlgAREMSP the sequential one, and every other
+	// name is rejected.
 	Algorithm Algorithm
+	// Mode is the labeling predicate; empty means the entry point's native
+	// mode (ModeBinary for Label/LabelInto/LabelIntoCtx).
+	Mode Mode
 	// Threads used by AlgPAREMSP (default: all CPUs). Ignored by the
 	// sequential algorithms.
 	Threads int
 	// Connectivity: 8 (default) or 4. Only AlgClassic, AlgMultiPass and
 	// AlgFloodFill support 4-connectivity; the paper's algorithms are
-	// 8-connected and return an error for 4.
+	// 8-connected and return an error for 4. ModeVolume is 26-connected
+	// (0 or 26 accepted); the gray modes are 8-connected only.
 	Connectivity int
+	// Delta is ModeGrayDelta's adjacency tolerance; ignored by every other
+	// mode.
+	Delta uint8
 	// UseCASMerger switches PAREMSP's boundary phase to the lock-free CAS
 	// union instead of the paper's lock-based MERGER.
 	UseCASMerger bool
@@ -198,6 +238,10 @@ func LabelInto(img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, er
 func LabelIntoCtx(ctx context.Context, img *Image, dst *LabelMap, sc *Scratch, opt Options) (*Result, error) {
 	if img == nil {
 		return nil, fmt.Errorf("paremsp: nil image")
+	}
+	if opt.Mode != "" && opt.Mode != ModeBinary {
+		return nil, fmt.Errorf("paremsp: LabelIntoCtx supports mode %q, got %q (use LabelGrayIntoCtx or LabelVolumeIntoCtx)",
+			ModeBinary, opt.Mode)
 	}
 	alg := opt.Algorithm
 	if alg == "" {
@@ -338,6 +382,9 @@ func LabelBitmapIntoCtx(ctx context.Context, bm *Bitmap, dst *LabelMap, sc *Scra
 	if bm == nil {
 		return nil, fmt.Errorf("paremsp: nil bitmap")
 	}
+	if opt.Mode != "" && opt.Mode != ModeBinary {
+		return nil, fmt.Errorf("paremsp: LabelBitmapIntoCtx supports mode %q, got %q", ModeBinary, opt.Mode)
+	}
 	alg := opt.Algorithm
 	if alg == "" {
 		alg = AlgPBREMSP
@@ -428,14 +475,19 @@ const (
 )
 
 // JobKind selects what an asynchronous job computes: a full labeling
-// (renderable as JSON, PGM, PNG or a CCL1 stream) or streaming component
-// statistics (JSON only, computed out-of-core by the band labeler).
+// (renderable as JSON, PGM, PNG or a CCL1 stream), streaming component
+// statistics (JSON only, computed out-of-core by the band labeler), a
+// labeling with per-component boundary polylines (JSON only), a gray-level
+// labeling (JSON or PGM), or a volumetric labeling (JSON only).
 type JobKind = jobs.Kind
 
 // Job kinds.
 const (
-	JobLabels JobKind = jobs.KindLabels
-	JobStats  JobKind = jobs.KindStats
+	JobLabels   JobKind = jobs.KindLabels
+	JobStats    JobKind = jobs.KindStats
+	JobContours JobKind = jobs.KindContours
+	JobGray     JobKind = jobs.KindGray
+	JobVolume   JobKind = jobs.KindVolume
 )
 
 // JobStoreOptions configures the service's asynchronous job store: the
@@ -478,6 +530,47 @@ func JobKey(kind JobKind, alg Algorithm, connectivity int, level float64, body [
 		connectivity = 8
 	}
 	return jobs.Key(kind, string(alg), connectivity, level, body)
+}
+
+// JobKeyMode is JobKey for the mode-polymorphic job kinds, applying the
+// per-mode normalization the service applies before hashing. The kind is
+// part of the hash, so the same body submitted under different modes always
+// yields distinct job IDs. Normalization per kind:
+//
+//   - JobGray (ModeGray): algorithm defaults to AlgPAREMSP; connectivity is
+//     pinned to 8 and the level to 0 (gray labeling never binarizes).
+//   - JobGray (ModeGrayDelta): the algorithm slot holds "delta=<delta>" —
+//     the tolerance scan has a single implementation, so only the tolerance
+//     differentiates submissions.
+//   - JobVolume: algorithm defaults to AlgPAREMSP; connectivity is pinned
+//     to 26; the level participates (volume slices are binarized).
+//   - JobContours: binary-labeling normalization exactly as JobKey (the
+//     traced labeling is a binary labeling).
+//
+// Kinds without mode-specific normalization fall through to JobKey.
+func JobKeyMode(kind JobKind, mode Mode, alg Algorithm, connectivity int, level float64, delta uint8, body []byte) string {
+	if alg == "" {
+		alg = AlgPAREMSP
+	}
+	switch kind {
+	case JobGray:
+		if mode == ModeGrayDelta {
+			return jobs.Key(kind, fmt.Sprintf("delta=%d", delta), 8, 0, body)
+		}
+		return jobs.Key(kind, string(alg), 8, 0, body)
+	case JobVolume:
+		return jobs.Key(kind, string(alg), 26, level, body)
+	case JobContours:
+		if connectivity == 0 {
+			connectivity = 8
+		}
+		if len(body) >= 2 && body[0] == 'P' && body[1] == '4' {
+			level = 0
+		}
+		return jobs.Key(kind, string(alg), connectivity, level, body)
+	default:
+		return JobKey(kind, alg, connectivity, level, body)
+	}
 }
 
 // CountComponents labels img with AREMSP and returns only the component

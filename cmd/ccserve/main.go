@@ -11,18 +11,25 @@
 // response format follows the Accept header: JSON component statistics,
 // a PGM or PNG label map, or a CCL1 label stream) on a bounded worker
 // pool, answering 429 with a latency-derived Retry-After when the queue
-// is full. POST /v1/stats streams raw PBM/PGM through the out-of-core
-// band labeler and returns component statistics.
+// is full. ?mode=gray labels gray levels directly (exact-value
+// components; ?mode=gray-delta&delta=N for tolerance-N components) and
+// ?contours=true adds each component's boundary polyline to the JSON
+// response. POST /v1/stats streams raw PBM/PGM through the out-of-core
+// band labeler and returns component statistics. POST /v1/volume labels a
+// stack of concatenated raw-PGM frames as one 26-connected 3-D volume.
+// Every /v1/* error is a JSON envelope {"error":{"code","message"}}.
 //
 // POST /v1/jobs is the asynchronous job API (disable with -jobs=false):
-// a single image or a multipart/form-data batch is accepted with 202 and
-// labeled in the background; poll GET /v1/jobs/{id}, fetch
-// GET /v1/jobs/{id}/result, and DELETE /v1/jobs/{id} when done. Identical
-// submissions (same bytes, algorithm, connectivity, level and kind)
-// deduplicate to the same job, and finished results are retained for
-// -job-ttl before a background sweeper evicts them from the -job-shards
-// sharded store; total retained result memory is capped at -job-max-bytes
-// (default 512 MiB), evicting oldest results first beyond it.
+// a single payload or a multipart/form-data batch is accepted with 202
+// and labeled in the background; poll GET /v1/jobs/{id}, fetch
+// GET /v1/jobs/{id}/result, and DELETE /v1/jobs/{id} when done. ?kind=
+// selects the workload (labels, stats, contours, gray, volume). Identical
+// submissions (same bytes, kind, mode, algorithm, connectivity, level and
+// delta) deduplicate to the same job, and finished results are retained
+// for -job-ttl before a background sweeper evicts them from the
+// -job-shards sharded store; total retained result memory is capped at
+// -job-max-bytes (default 512 MiB), evicting oldest results first beyond
+// it.
 //
 // /healthz is a liveness probe and /metrics exposes request counters,
 // latency and per-phase histograms, approximate latency percentiles and

@@ -117,12 +117,13 @@
 // observable as queued → running → done/failed/canceled via GET
 // /v1/jobs/{id}, with
 // results fetched from GET /v1/jobs/{id}/result (the /v1/label formats for
-// kind=labels, JSON statistics for kind=stats) and released early with
-// DELETE /v1/jobs/{id}.
+// the labels, gray and contours kinds; JSON only for stats and volume) and
+// released early with DELETE /v1/jobs/{id}.
 //
 // A job's ID is the truncated (128-bit) SHA-256 of its request tuple —
-// input bytes, algorithm, connectivity, binarization level and output kind
-// (JobKey computes it, normalization included) —
+// input bytes, output kind, mode (with delta for gray-delta), algorithm,
+// connectivity and binarization level (JobKeyMode computes it,
+// normalization included; JobKey is the binary-only form it extends) —
 // so identical submissions deduplicate to the same job and its cached
 // result instead of recomputing; failed and expired jobs are replaced on
 // resubmission. Finished jobs are retained in a mutex-sharded store
@@ -188,6 +189,37 @@
 // worker-panic, encode-slow, queue-full; one atomic load when disarmed)
 // behind the chaos suite in internal/service and the CCSERVE_FAULTS
 // environment variable for manual drills.
+//
+// # Beyond the paper: gray, 3-D and contour modes
+//
+// The REMSP machinery generalizes past binary 2-D rasters, and the library
+// exposes three extension workloads with the same Into/IntoCtx entry-point
+// discipline as the core: LabelGray / LabelGrayDelta label 8-connected
+// flat zones of a GrayImage (exact gray value, or values within delta;
+// every pixel is labeled — there is no background), LabelVolume labels a
+// 26-connected 3-D Volume of binary voxels, and TraceContours walks each
+// component's outer boundary into a polyline. Options.Mode (ModeBinary,
+// ModeGray, ModeGrayDelta, ModeVolume) names the workload when calling the
+// unified entry points LabelGrayIntoCtx / LabelVolumeIntoCtx, which take
+// caller-provided buffers and poll ctx like the binary pipeline.
+//
+// ccserve serves all three behind one request model. Every /v1/* endpoint
+// parses ?alg, ?threads, ?conn, ?level, ?mode and ?delta through a single
+// shared parser, so a bad parameter fails identically everywhere, as a
+// JSON error envelope {"error":{"code","message"}} with a fixed code
+// vocabulary (invalid_argument, unsupported_media_type, not_acceptable,
+// payload_too_large, queue_full, unavailable, timeout, internal,
+// not_found). The endpoint x mode matrix: POST /v1/label serves
+// mode=binary (PBM/PGM/PNG in; JSON, PGM, PNG or CCL1 out) and
+// mode=gray|gray-delta (P5/PNG in, same outputs), plus ?contours=true to
+// attach boundary polylines to JSON responses; POST /v1/volume takes
+// concatenated raw-PGM z-slices and returns JSON only; POST /v1/stats is
+// binary-only. Async jobs mirror the matrix via ?kind=
+// (labels|stats|contours|gray|volume), keyed by JobKeyMode so the same
+// bytes under different modes are distinct jobs while binary labels/stats
+// IDs stay identical to earlier releases. The ?stats= query parameter was
+// renamed ?components=; the old name is accepted for one release and
+// logged at warn.
 //
 // # Reproducing the paper
 //

@@ -100,6 +100,17 @@ func (s *Scratch) lockTable(stripes int) *unionfind.LockTable {
 	return s.lt
 }
 
+// Parents returns a zeroed parent array with n+1 slots from the retained
+// buffer, exactly as the internal entry points obtain theirs. Exported for
+// the extension labelers (gray-level, 3D volume), which share a Scratch's
+// parent buffer with the binary algorithms: the buffer grows to the largest
+// request and is reused across modes.
+func (s *Scratch) Parents(n int) []Label { return s.parents(n) }
+
+// LockTable returns the retained stripe-lock table (0 stripes selects the
+// default), for the extension labelers' concurrent boundary merges.
+func (s *Scratch) LockTable(stripes int) *unionfind.LockTable { return s.lockTable(stripes) }
+
 // bitmap returns the retained packed raster.
 func (s *Scratch) bitmap() *binimg.Bitmap {
 	if s.bm == nil {

@@ -1,0 +1,244 @@
+// Cooperative cancellation entry points, mirroring internal/core's contract:
+// every *IntoCtx function is its non-ctx counterpart labeling into a
+// caller-provided label map and drawing its equivalence buffer from a
+// caller-provided parent slice, with the long row loops (scan and relabel)
+// polling ctx's done channel every few dozen rows. The boundary-merge and
+// flatten phases are not polled internally — they touch the equivalence
+// table, not the raster — so the parallel driver checks the context between
+// phases instead.
+//
+// A canceled labeling leaves lm in an undefined (but reusable) state; callers
+// must discard the result.
+
+package grayccl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/binimg"
+	"repro/internal/unionfind"
+)
+
+// pollRows matches the core/scan layers' poll amortization: 64 rows of work
+// between done-channel polls.
+const pollRows = 64
+
+// ctxDone returns ctx's done channel; nil (never cancels) for a nil ctx.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelErr returns ctx's error once its done channel closed, defaulting to
+// context.Canceled.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// stopped reports whether done is closed without blocking; a nil done never
+// stops.
+func stopped(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// MaxLabels bounds the provisional labels either gray labeler can create for
+// a w×h image. Gray labels have no independent-set bound — every pixel may
+// open a component — so the parallel scan budgets 2*w labels per row pair,
+// ceil(h/2) pairs; the sequential scan's w*h bound is never larger.
+func MaxLabels(w, h int) int {
+	return ((h + 1) / 2) * (2 * w)
+}
+
+// Reset reshapes im to width×height, reusing the pixel buffer when large
+// enough (the binimg.Image contract); contents are zeroed.
+func (im *Image) Reset(width, height int) {
+	if width < 0 || height < 0 {
+		panic(fmt.Sprintf("grayccl: negative dimensions %dx%d", width, height))
+	}
+	n := width * height
+	if cap(im.Pix) < n {
+		im.Pix = make([]uint8, n)
+	} else {
+		im.Pix = im.Pix[:n]
+		clear(im.Pix)
+	}
+	im.Width, im.Height = width, height
+}
+
+// checkParents panics when the caller-provided parent slice cannot hold the
+// labels this image may create; p must also be zeroed (core.Scratch.Parents
+// guarantees both).
+func checkParents(p []binimg.Label, need int) {
+	if len(p) < need+1 {
+		panic(fmt.Sprintf("grayccl: parent slice holds %d labels, need %d", len(p)-1, need))
+	}
+}
+
+// LabelIntoCtx is Label into a caller-provided label map (reshaped with
+// Reset) with cooperative cancellation. p must be a zeroed parent slice with
+// at least MaxLabels(w,h)+1 slots — core.Scratch.Parents(MaxLabels(w,h))
+// provides one.
+func LabelIntoCtx(ctx context.Context, img *Image, lm *binimg.LabelMap, p []binimg.Label) (int, error) {
+	w, h := img.Width, img.Height
+	lm.Reset(w, h)
+	if w == 0 || h == 0 {
+		return 0, nil
+	}
+	checkParents(p, w*h)
+	done := ctxDone(ctx)
+	count, ok := grayPairRows(img, lm, p, 0, 0, h, done)
+	if !ok {
+		return 0, cancelErr(ctx)
+	}
+	n := unionfind.Flatten(p, count)
+	if !relabelGrayUntil(lm.L, p, w, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// PLabelIntoCtx is PLabel into a caller-provided label map with cooperative
+// cancellation. p must be a zeroed parent slice with at least
+// MaxLabels(w,h)+1 slots; lt is the stripe-lock table for the boundary
+// merges (nil allocates a default one).
+func PLabelIntoCtx(ctx context.Context, img *Image, lm *binimg.LabelMap, p []binimg.Label, lt *unionfind.LockTable, threads int) (int, error) {
+	w, h := img.Width, img.Height
+	lm.Reset(w, h)
+	if w == 0 || h == 0 {
+		return 0, nil
+	}
+	numPairs := (h + 1) / 2
+	if threads <= 0 || threads > numPairs {
+		threads = numPairs
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	// Gray labels have no independent-set bound: every pixel may be a
+	// component, so each row pair budgets 2*w labels.
+	stride := binimg.Label(2 * w)
+	maxLabel := binimg.Label(numPairs) * stride
+	checkParents(p, int(maxLabel))
+	done := ctxDone(ctx)
+
+	starts := make([]int, threads+1)
+	base, rem := numPairs/threads, numPairs%threads
+	pair := 0
+	for c := 0; c < threads; c++ {
+		starts[c] = pair * 2
+		pair += base
+		if c < rem {
+			pair++
+		}
+	}
+	starts[threads] = h
+
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < threads; c++ {
+		rowStart, rowEnd := starts[c], starts[c+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			offset := binimg.Label(rowStart/2) * stride
+			if _, ok := grayPairRows(img, lm, p, offset, rowStart, rowEnd, done); !ok {
+				canceled.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return 0, cancelErr(ctx)
+	}
+
+	if lt == nil {
+		lt = unionfind.NewLockTable(0)
+	}
+	for _, row := range starts[1:threads] {
+		row := row
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mergeGrayBoundary(img, lm, p, lt, row)
+		}()
+	}
+	wg.Wait()
+	if stopped(done) {
+		return 0, cancelErr(ctx)
+	}
+
+	n := unionfind.FlattenSparse(p, maxLabel)
+	if !relabelGrayUntil(lm.L, p, w, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// LabelDeltaIntoCtx is LabelDelta into a caller-provided label map with
+// cooperative cancellation. p must be a zeroed parent slice with at least
+// MaxLabels(w,h)+1 slots.
+func LabelDeltaIntoCtx(ctx context.Context, img *Image, lm *binimg.LabelMap, p []binimg.Label, delta uint8) (int, error) {
+	w, h := img.Width, img.Height
+	lm.Reset(w, h)
+	if w == 0 || h == 0 {
+		return 0, nil
+	}
+	checkParents(p, w*h)
+	done := ctxDone(ctx)
+	count, ok := deltaScan(img, lm, p, delta, done)
+	if !ok {
+		return 0, cancelErr(ctx)
+	}
+	n := unionfind.Flatten(p, count)
+	if !relabelGrayUntil(lm.L, p, w, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// relabelGrayUntil rewrites provisional labels through p in blocks of
+// pollRows rows, polling done between blocks; reports whether it ran to
+// completion. Gray label maps have no background, so every element maps.
+func relabelGrayUntil(l, p []binimg.Label, w int, done <-chan struct{}) bool {
+	if done == nil {
+		for i, v := range l {
+			l[i] = p[v]
+		}
+		return true
+	}
+	block := pollRows * w
+	if block < 1<<12 {
+		block = 1 << 12
+	}
+	for lo := 0; lo < len(l); lo += block {
+		if stopped(done) {
+			return false
+		}
+		hi := lo + block
+		if hi > len(l) {
+			hi = len(l)
+		}
+		seg := l[lo:hi]
+		for i, v := range seg {
+			seg[i] = p[v]
+		}
+	}
+	return true
+}

@@ -14,8 +14,8 @@
 package grayccl
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/binimg"
 	"repro/internal/unionfind"
@@ -56,89 +56,27 @@ func (im *Image) Set(x, y int, v uint8) {
 // (pair-row scan + REMSP). Labels are consecutive 1..n; returns the label
 // map and n.
 func Label(img *Image) (*binimg.LabelMap, int) {
-	w, h := img.Width, img.Height
-	lm := binimg.NewLabelMap(w, h)
-	if w == 0 || h == 0 {
-		return lm, 0
-	}
-	p := make([]binimg.Label, w*h+1)
-	count := grayPairRows(img, lm, p, 0, 0, h)
-	n := unionfind.Flatten(p, count)
-	for i, v := range lm.L {
-		lm.L[i] = p[v]
-	}
-	return lm, int(n)
+	lm := binimg.NewLabelMap(img.Width, img.Height)
+	p := make([]binimg.Label, MaxLabels(img.Width, img.Height)+1)
+	n, _ := LabelIntoCtx(context.Background(), img, lm, p)
+	return lm, n
 }
 
 // PLabel is the parallel version of Label: row-pair chunks scanned
 // concurrently with disjoint label ranges, boundary rows merged with the
-// concurrent lock-based REM union, sparse flatten, parallel relabel.
+// concurrent lock-based REM union, sparse flatten, relabel.
 func PLabel(img *Image, threads int) (*binimg.LabelMap, int) {
-	w, h := img.Width, img.Height
-	lm := binimg.NewLabelMap(w, h)
-	if w == 0 || h == 0 {
-		return lm, 0
-	}
-	numPairs := (h + 1) / 2
-	if threads <= 0 || threads > numPairs {
-		threads = numPairs
-	}
-	if threads < 1 {
-		threads = 1
-	}
-
-	// Gray labels have no independent-set bound: every pixel may be a
-	// component, so each row pair budgets 2*w labels.
-	stride := binimg.Label(2 * w)
-	maxLabel := binimg.Label(numPairs) * stride
-	p := make([]binimg.Label, maxLabel+1)
-
-	starts := make([]int, threads+1)
-	base, rem := numPairs/threads, numPairs%threads
-	pair := 0
-	for c := 0; c < threads; c++ {
-		starts[c] = pair * 2
-		pair += base
-		if c < rem {
-			pair++
-		}
-	}
-	starts[threads] = h
-
-	var wg sync.WaitGroup
-	for c := 0; c < threads; c++ {
-		rowStart, rowEnd := starts[c], starts[c+1]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			offset := binimg.Label(rowStart/2) * stride
-			grayPairRows(img, lm, p, offset, rowStart, rowEnd)
-		}()
-	}
-	wg.Wait()
-
-	lt := unionfind.NewLockTable(0)
-	for _, row := range starts[1:threads] {
-		row := row
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mergeGrayBoundary(img, lm, p, lt, row)
-		}()
-	}
-	wg.Wait()
-
-	n := unionfind.FlattenSparse(p, maxLabel)
-	for i, v := range lm.L {
-		lm.L[i] = p[v]
-	}
-	return lm, int(n)
+	lm := binimg.NewLabelMap(img.Width, img.Height)
+	p := make([]binimg.Label, MaxLabels(img.Width, img.Height)+1)
+	n, _ := PLabelIntoCtx(context.Background(), img, lm, p, nil, threads)
+	return lm, n
 }
 
 // grayPairRows is the pair-row scan of Alg. 6 with the foreground predicate
 // generalized to gray-value equality. It labels rows [rowStart, rowEnd),
-// drawing labels from offset+1 upward, and returns the last label used.
-func grayPairRows(img *Image, lm *binimg.LabelMap, p []binimg.Label, offset binimg.Label, rowStart, rowEnd int) binimg.Label {
+// drawing labels from offset+1 upward, polling done every pollRows row
+// pairs. Returns the last label used and whether it ran to completion.
+func grayPairRows(img *Image, lm *binimg.LabelMap, p []binimg.Label, offset binimg.Label, rowStart, rowEnd int, done <-chan struct{}) (binimg.Label, bool) {
 	w := img.Width
 	pix := img.Pix
 	lab := lm.L
@@ -149,6 +87,9 @@ func grayPairRows(img *Image, lm *binimg.LabelMap, p []binimg.Label, offset bini
 		return count
 	}
 	for r := rowStart; r < rowEnd; r += 2 {
+		if (r-rowStart)%(2*pollRows) == 0 && stopped(done) {
+			return count, false
+		}
 		row := r * w
 		up := row - w
 		down := row + w
@@ -233,7 +174,7 @@ func grayPairRows(img *Image, lm *binimg.LabelMap, p []binimg.Label, offset bini
 			}
 		}
 	}
-	return count
+	return count, true
 }
 
 // mergeGrayBoundary unites each pixel of a chunk-start row with its
@@ -265,12 +206,16 @@ func mergeGrayBoundary(img *Image, lm *binimg.LabelMap, p []binimg.Label, lt *un
 // differ by more than delta. Tolerance is not transitive, so the exhaustive
 // Rosenfeld scan is used (every visited neighbor examined and merged).
 func LabelDelta(img *Image, delta uint8) (*binimg.LabelMap, int) {
+	lm := binimg.NewLabelMap(img.Width, img.Height)
+	p := make([]binimg.Label, MaxLabels(img.Width, img.Height)+1)
+	n, _ := LabelDeltaIntoCtx(context.Background(), img, lm, p, delta)
+	return lm, n
+}
+
+// deltaScan is LabelDelta's exhaustive Rosenfeld scan, polling done every
+// pollRows rows. Returns the last label used and whether it completed.
+func deltaScan(img *Image, lm *binimg.LabelMap, p []binimg.Label, delta uint8, done <-chan struct{}) (binimg.Label, bool) {
 	w, h := img.Width, img.Height
-	lm := binimg.NewLabelMap(w, h)
-	if w == 0 || h == 0 {
-		return lm, 0
-	}
-	p := make([]binimg.Label, w*h+1)
 	pix := img.Pix
 	lab := lm.L
 	var count binimg.Label
@@ -281,6 +226,9 @@ func LabelDelta(img *Image, delta uint8) (*binimg.LabelMap, int) {
 		return b-a <= delta
 	}
 	for y := 0; y < h; y++ {
+		if y%pollRows == 0 && stopped(done) {
+			return count, false
+		}
 		row := y * w
 		up := row - w
 		for x := 0; x < w; x++ {
@@ -316,11 +264,7 @@ func LabelDelta(img *Image, delta uint8) (*binimg.LabelMap, int) {
 			lab[row+x] = le
 		}
 	}
-	n := unionfind.Flatten(p, count)
-	for i, v := range lab {
-		lab[i] = p[v]
-	}
-	return lm, int(n)
+	return count, true
 }
 
 // FloodFill is the gray-level reference labeler (exact equality,

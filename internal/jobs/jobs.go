@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/band"
 	"repro/internal/binimg"
+	"repro/internal/contour"
 	"repro/internal/core"
 	"repro/internal/stats"
 )
@@ -68,13 +69,20 @@ func (s State) Finished() bool {
 }
 
 // Kind is what a job computes: a full labeling (results renderable as
-// JSON/PGM/PNG/CCL1) or streaming component statistics (JSON only).
+// JSON/PGM/PNG/CCL1), streaming component statistics (JSON only), a
+// labeling plus per-component boundary polylines (JSON only), a gray-level
+// labeling (JSON/PGM), or a volumetric labeling (JSON only). The kind is
+// part of the dedup key, so one body submitted under different kinds always
+// yields distinct jobs.
 type Kind string
 
 // Job kinds.
 const (
-	KindLabels Kind = "labels"
-	KindStats  Kind = "stats"
+	KindLabels   Kind = "labels"
+	KindStats    Kind = "stats"
+	KindContours Kind = "contours"
+	KindGray     Kind = "gray"
+	KindVolume   Kind = "volume"
 )
 
 // ResultInfo is the small summary of a finished result that lives with the
@@ -87,6 +95,8 @@ type ResultInfo struct {
 	Width         int     `json:"w,omitempty"`
 	Height        int     `json:"h,omitempty"`
 	Density       float64 `json:"density,omitempty"`
+	// Depth is the z-slice count of a KindVolume job's labeled volume.
+	Depth int `json:"d,omitempty"`
 	// BandRows is the band height a KindStats job streamed with (0 = the
 	// default); execution detail only, deliberately outside the dedup key.
 	BandRows int `json:"band_rows,omitempty"`
@@ -99,20 +109,28 @@ type ResultInfo struct {
 	Phases core.PhaseTimes `json:"phases,omitempty"`
 }
 
-// Result is a finished job's payload. Exactly one of Labels and Stats is
-// set, matching the job's Kind; both are immutable once stored. The
-// embedded ResultInfo summary is also copied into Job.Info at completion.
+// Result is a finished job's payload; the fields matching the job's Kind
+// are set and immutable once stored. The embedded ResultInfo summary is
+// also copied into Job.Info at completion.
 type Result struct {
 	ResultInfo
 
-	// Labels is the label raster of a KindLabels job.
+	// Labels is the label raster of a KindLabels, KindContours or KindGray
+	// job.
 	Labels *binimg.LabelMap
-	// Components caches a KindLabels job's per-component statistics,
+	// Components caches a labeling job's per-component statistics,
 	// computed once at completion so result fetches never rescan the
 	// raster on the serving goroutine.
 	Components []stats.Component
 	// Stats is the streaming statistics of a KindStats job.
 	Stats *band.Result
+	// Contours caches a KindContours job's per-component boundary
+	// polylines, traced once at completion.
+	Contours []contour.Contour
+	// VolumeSizes caches a KindVolume job's per-component voxel counts,
+	// indexed by label-1 (the volume raster itself is not retained — only
+	// the summary the result endpoint serves).
+	VolumeSizes []int
 }
 
 // Params captures how to re-run a submission: everything the service needs
@@ -123,6 +141,12 @@ type Params struct {
 	Alg   string  `json:"alg,omitempty"`
 	Conn  int     `json:"conn,omitempty"`
 	Level float64 `json:"level,omitempty"`
+	// Mode and Delta select the labeling predicate of the mode-polymorphic
+	// kinds (gray, gray-delta, volume); both enter the dedup key through
+	// the kind and algorithm-slot normalization (see the root package's
+	// JobKeyMode). Empty means binary.
+	Mode  string `json:"mode,omitempty"`
+	Delta uint8  `json:"delta,omitempty"`
 	// Threads and BandRows are execution knobs outside the dedup key.
 	Threads  int `json:"threads,omitempty"`
 	BandRows int `json:"band_rows,omitempty"`
@@ -522,7 +546,7 @@ func (s *Store) dropBlobs(j *Job) {
 
 // resultBytes estimates how much memory a retained result pins: the label
 // raster dominates at 4 bytes per pixel; stats components are ~64 bytes
-// each.
+// each; contour points are two ints (16 bytes); volume sizes one int each.
 func resultBytes(r *Result) int64 {
 	if r == nil {
 		return 0
@@ -535,6 +559,10 @@ func resultBytes(r *Result) int64 {
 	if r.Stats != nil {
 		n += int64(len(r.Stats.Components)) * 64
 	}
+	for i := range r.Contours {
+		n += int64(len(r.Contours[i].Points))*16 + 32
+	}
+	n += int64(len(r.VolumeSizes)) * 8
 	return n
 }
 

@@ -153,13 +153,9 @@ func decodePGM(br *bufio.Reader, raw bool, level float64, im *binimg.Image) erro
 	if err != nil {
 		return err
 	}
-	maxTok, err := readToken(br)
+	maxVal, err := readMaxVal(br)
 	if err != nil {
-		return fmt.Errorf("pnm: reading maxval: %w", err)
-	}
-	maxVal, err := strconv.Atoi(maxTok)
-	if err != nil || maxVal < 1 || maxVal > 65535 {
-		return fmt.Errorf("pnm: invalid maxval %q", maxTok)
+		return err
 	}
 	im.Reset(w, h)
 	thresh := level * float64(maxVal)

@@ -68,10 +68,13 @@ type Engine struct {
 	// onPanic is Config.OnPanic (may be nil).
 	onPanic func(v any, stack []byte)
 
-	imgPool sync.Pool // *paremsp.Image
-	bmPool  sync.Pool // *paremsp.Bitmap
-	lmPool  sync.Pool // *paremsp.LabelMap
-	scPool  sync.Pool // *paremsp.Scratch
+	imgPool  sync.Pool // *paremsp.Image
+	bmPool   sync.Pool // *paremsp.Bitmap
+	lmPool   sync.Pool // *paremsp.LabelMap
+	scPool   sync.Pool // *paremsp.Scratch
+	grayPool sync.Pool // *paremsp.GrayImage
+	volPool  sync.Pool // *paremsp.Volume
+	lvPool   sync.Pool // *paremsp.LabelVolumeMap
 
 	// run performs one labeling; tests substitute it to control timing. The
 	// context is the request's: the labeling polls it between row blocks and
@@ -79,16 +82,22 @@ type Engine struct {
 	run func(ctx context.Context, img *paremsp.Image, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
 	// runBM is run for bit-packed jobs (LabelBitmap requests).
 	runBM func(ctx context.Context, bm *paremsp.Bitmap, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
+	// runGray is run for gray-level jobs (modes gray and gray-delta).
+	runGray func(ctx context.Context, img *paremsp.GrayImage, dst *paremsp.LabelMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.Result, error)
+	// runVol is run for volumetric jobs (mode volume).
+	runVol func(ctx context.Context, vol *paremsp.Volume, dst *paremsp.LabelVolumeMap, sc *paremsp.Scratch, opt paremsp.Options) (*paremsp.VolumeResult, error)
 }
 
-// job carries one request; exactly one of img, bm and stream is non-nil.
-// stream jobs run the out-of-core band labeler on the worker (the thunk
-// reads the request body itself), so they obey the same in-flight bound and
-// queue backpressure as raster labelings.
+// job carries one request; exactly one of img, bm, gray, vol and stream is
+// non-nil. stream jobs run the out-of-core band labeler on the worker (the
+// thunk reads the request body itself), so they obey the same in-flight
+// bound and queue backpressure as raster labelings.
 type job struct {
 	ctx    context.Context
 	img    *paremsp.Image
 	bm     *paremsp.Bitmap
+	gray   *paremsp.GrayImage
+	vol    *paremsp.Volume
 	stream func() (*band.Result, error)
 	opt    paremsp.Options
 	done   chan jobResult
@@ -104,6 +113,7 @@ type job struct {
 type jobResult struct {
 	res  *paremsp.Result
 	bres *band.Result
+	vres *paremsp.VolumeResult
 	err  error
 	// wait is the time the job sat in the queue before a worker picked it
 	// up. It rides the result channel back so the HTTP layer can fill the
@@ -138,6 +148,8 @@ func NewEngine(cfg Config) *Engine {
 		onPanic:    cfg.OnPanic,
 		run:        paremsp.LabelIntoCtx,
 		runBM:      paremsp.LabelBitmapIntoCtx,
+		runGray:    paremsp.LabelGrayIntoCtx,
+		runVol:     paremsp.LabelVolumeIntoCtx,
 	}
 	// Pool miss accounting lives in the New closures: a pool Get that finds
 	// nothing to reuse is exactly one New call, so gets − misses = hits.
@@ -145,6 +157,9 @@ func NewEngine(cfg Config) *Engine {
 	e.bmPool.New = func() any { e.metrics.poolMisses[poolBitmap].Add(1); return &paremsp.Bitmap{} }
 	e.lmPool.New = func() any { e.metrics.poolMisses[poolLabelMap].Add(1); return &paremsp.LabelMap{} }
 	e.scPool.New = func() any { e.metrics.poolMisses[poolScratch].Add(1); return &paremsp.Scratch{} }
+	e.grayPool.New = func() any { e.metrics.poolMisses[poolGray].Add(1); return &paremsp.GrayImage{} }
+	e.volPool.New = func() any { e.metrics.poolMisses[poolVolume].Add(1); return &paremsp.Volume{} }
+	e.lvPool.New = func() any { e.metrics.poolMisses[poolLabelVol].Add(1); return &paremsp.LabelVolumeMap{} }
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
@@ -198,6 +213,44 @@ func (e *Engine) PutResult(res *paremsp.Result) {
 	}
 }
 
+// GetGray borrows a gray raster from the gray pool; decode into it with
+// pnm.DecodeGrayInto and hand it to LabelGray, which consumes it. If it
+// never reaches LabelGray, return it with PutGray.
+func (e *Engine) GetGray() *paremsp.GrayImage {
+	e.metrics.poolGets[poolGray].Add(1)
+	return e.grayPool.Get().(*paremsp.GrayImage)
+}
+
+// PutGray returns a borrowed gray raster to the gray pool.
+func (e *Engine) PutGray(img *paremsp.GrayImage) {
+	if img != nil {
+		e.grayPool.Put(img)
+	}
+}
+
+// GetVolume borrows a voxel volume from the volume pool; decode into it with
+// pnm.DecodeVolumeInto and hand it to LabelVolume, which consumes it. If it
+// never reaches LabelVolume, return it with PutVolume.
+func (e *Engine) GetVolume() *paremsp.Volume {
+	e.metrics.poolGets[poolVolume].Add(1)
+	return e.volPool.Get().(*paremsp.Volume)
+}
+
+// PutVolume returns a borrowed volume to the volume pool.
+func (e *Engine) PutVolume(vol *paremsp.Volume) {
+	if vol != nil {
+		e.volPool.Put(vol)
+	}
+}
+
+// PutVolumeResult returns a LabelVolume result's label volume to its pool.
+func (e *Engine) PutVolumeResult(res *paremsp.VolumeResult) {
+	if res != nil && res.Labels != nil {
+		e.lvPool.Put(res.Labels)
+		res.Labels = nil
+	}
+}
+
 // Label labels img with the engine's worker pool and per-request options,
 // blocking until the labeling completes, ctx is done, or the request is
 // rejected. Backpressure: if Workers labelings are in flight and QueueDepth
@@ -220,6 +273,24 @@ func (e *Engine) Label(ctx context.Context, img *paremsp.Image, opt paremsp.Opti
 func (e *Engine) LabelBitmap(ctx context.Context, bm *paremsp.Bitmap, opt paremsp.Options) (*paremsp.Result, error) {
 	r := e.submit(&job{ctx: ctx, bm: bm, opt: opt, done: make(chan jobResult, 1)})
 	return r.res, r.err
+}
+
+// LabelGray is Label for a gray raster (modes gray and gray-delta, see
+// paremsp.LabelGrayIntoCtx). It consumes img under the same contract Label
+// applies to its raster: on every path the engine returns it to the gray
+// pool, so read any per-image facts before calling.
+func (e *Engine) LabelGray(ctx context.Context, img *paremsp.GrayImage, opt paremsp.Options) (*paremsp.Result, error) {
+	r := e.submit(&job{ctx: ctx, gray: img, opt: opt, done: make(chan jobResult, 1)})
+	return r.res, r.err
+}
+
+// LabelVolume is Label for a binary voxel volume (mode volume, see
+// paremsp.LabelVolumeIntoCtx); it consumes vol under the raster contract.
+// The returned result's label volume is pool-owned; release it with
+// PutVolumeResult.
+func (e *Engine) LabelVolume(ctx context.Context, vol *paremsp.Volume, opt paremsp.Options) (*paremsp.VolumeResult, error) {
+	r := e.submit(&job{ctx: ctx, vol: vol, opt: opt, done: make(chan jobResult, 1)})
+	return r.vres, r.err
 }
 
 // Stats streams src through the out-of-core band labeler on the worker pool
@@ -258,12 +329,13 @@ type Submitted struct {
 // point-in-time observation, not a live position.
 func (s *Submitted) QueuePosition() int { return s.pos }
 
-// Wait blocks until the job finishes. Exactly one of the two results is
-// non-nil on success: the raster result for SubmitLabel/SubmitBitmap, the
-// streaming result for SubmitStats. Wait must be called exactly once.
-func (s *Submitted) Wait() (*paremsp.Result, *band.Result, error) {
+// Wait blocks until the job finishes. Exactly one of the results is non-nil
+// on success: the raster result for SubmitLabel/SubmitBitmap/SubmitGray,
+// the streaming result for SubmitStats, the volume result for SubmitVolume.
+// Wait must be called exactly once.
+func (s *Submitted) Wait() (*paremsp.Result, *band.Result, *paremsp.VolumeResult, error) {
 	r := <-s.done
-	return r.res, r.bres, r.err
+	return r.res, r.bres, r.vres, r.err
 }
 
 // SubmitLabel is the asynchronous form of Label: it admits img to the queue
@@ -284,6 +356,26 @@ func (e *Engine) SubmitLabel(ctx context.Context, img *paremsp.Image, opt parems
 // SubmitBitmap is SubmitLabel for a bit-packed raster (see LabelBitmap).
 func (e *Engine) SubmitBitmap(ctx context.Context, bm *paremsp.Bitmap, opt paremsp.Options, onStart func()) (*Submitted, error) {
 	j := &job{ctx: ctx, bm: bm, opt: opt, onStart: onStart, done: make(chan jobResult, 1)}
+	pos, err := e.enqueue(j)
+	if err != nil {
+		return nil, err
+	}
+	return &Submitted{pos: pos, done: j.done}, nil
+}
+
+// SubmitGray is SubmitLabel for a gray raster (see LabelGray).
+func (e *Engine) SubmitGray(ctx context.Context, img *paremsp.GrayImage, opt paremsp.Options, onStart func()) (*Submitted, error) {
+	j := &job{ctx: ctx, gray: img, opt: opt, onStart: onStart, done: make(chan jobResult, 1)}
+	pos, err := e.enqueue(j)
+	if err != nil {
+		return nil, err
+	}
+	return &Submitted{pos: pos, done: j.done}, nil
+}
+
+// SubmitVolume is SubmitLabel for a voxel volume (see LabelVolume).
+func (e *Engine) SubmitVolume(ctx context.Context, vol *paremsp.Volume, opt paremsp.Options, onStart func()) (*Submitted, error) {
+	j := &job{ctx: ctx, vol: vol, opt: opt, onStart: onStart, done: make(chan jobResult, 1)}
 	pos, err := e.enqueue(j)
 	if err != nil {
 		return nil, err
@@ -340,6 +432,10 @@ func (e *Engine) reclaimInput(j *job) {
 		e.imgPool.Put(j.img)
 	case j.bm != nil:
 		e.bmPool.Put(j.bm)
+	case j.gray != nil:
+		e.grayPool.Put(j.gray)
+	case j.vol != nil:
+		e.volPool.Put(j.vol)
 	}
 }
 
@@ -415,8 +511,12 @@ func (e *Engine) submit(j *job) jobResult {
 		// raster); reclaim the label map when it finishes so the pool stays
 		// warm.
 		go func() {
-			if r := <-j.done; r.res != nil {
+			r := <-j.done
+			if r.res != nil {
 				e.PutResult(r.res)
+			}
+			if r.vres != nil {
+				e.PutVolumeResult(r.vres)
 			}
 		}()
 		return jobResult{err: ctx.Err()}
@@ -516,14 +616,27 @@ func injectWorkerFaults(ctx context.Context) {
 func (e *Engine) computeRaster(j *job, lm *paremsp.LabelMap, sc *paremsp.Scratch) (res *paremsp.Result, npix int, err error) {
 	defer e.recoverPanic(&err)
 	injectWorkerFaults(j.ctx)
-	if j.img != nil {
+	switch {
+	case j.img != nil:
 		npix = len(j.img.Pix)
 		res, err = e.run(j.ctx, j.img, lm, sc, j.opt)
-	} else {
+	case j.gray != nil:
+		npix = len(j.gray.Pix)
+		res, err = e.runGray(j.ctx, j.gray, lm, sc, j.opt)
+	default:
 		npix = j.bm.Width * j.bm.Height
 		res, err = e.runBM(j.ctx, j.bm, lm, sc, j.opt)
 	}
 	return res, npix, err
+}
+
+// computeVolume is computeRaster for voxel-volume jobs.
+func (e *Engine) computeVolume(j *job, lv *paremsp.LabelVolumeMap, sc *paremsp.Scratch) (vres *paremsp.VolumeResult, npix int, err error) {
+	defer e.recoverPanic(&err)
+	injectWorkerFaults(j.ctx)
+	npix = len(j.vol.Vox)
+	vres, err = e.runVol(j.ctx, j.vol, lv, sc, j.opt)
+	return vres, npix, err
 }
 
 // computeStream is computeRaster for band-streaming jobs.
@@ -573,6 +686,39 @@ func (e *Engine) worker() {
 			e.metrics.pixels.Add(int64(bres.Width) * int64(bres.Height))
 			e.metrics.components.Add(int64(bres.NumComponents))
 			j.done <- jobResult{bres: bres, wait: wait}
+			continue
+		}
+		if j.vol != nil {
+			// Volume jobs mirror the raster path with a 3-D label buffer and
+			// no phase breakdown (the slab labeler does not time phases).
+			e.metrics.poolGets[poolLabelVol].Add(1)
+			lv := e.lvPool.Get().(*paremsp.LabelVolumeMap)
+			e.metrics.poolGets[poolScratch].Add(1)
+			sc := e.scPool.Get().(*paremsp.Scratch)
+			vres, npix, err := e.computeVolume(j, lv, sc)
+			panicked := errors.Is(err, ErrWorkerPanic)
+			if !panicked {
+				e.scPool.Put(sc)
+				e.reclaimInput(j)
+			}
+			elapsed := time.Since(start).Nanoseconds()
+			e.metrics.busyNs.Add(elapsed)
+			e.metrics.inFlight.Add(-1)
+			if err != nil {
+				if !panicked {
+					e.lvPool.Put(lv)
+				}
+				e.metrics.errors.Add(1)
+				j.done <- jobResult{err: err, wait: wait}
+				continue
+			}
+			e.metrics.completed.Add(1)
+			e.metrics.jobNs.Add(elapsed)
+			e.metrics.jobsTimed.Add(1)
+			e.metrics.pixels.Add(int64(npix))
+			e.metrics.components.Add(int64(vres.NumComponents))
+			e.metrics.jobHist.observe(elapsed)
+			j.done <- jobResult{vres: vres, wait: wait}
 			continue
 		}
 		e.metrics.poolGets[poolLabelMap].Add(1)

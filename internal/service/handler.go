@@ -126,6 +126,7 @@ func NewHandler(e *Engine, cfg HandlerConfig) *Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/label", h.label)
 	mux.HandleFunc("POST /v1/stats", h.stats)
+	mux.HandleFunc("POST /v1/volume", h.volume)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	if h.jobs != nil {
@@ -156,7 +157,7 @@ func (h *Handler) Draining() bool { return h.draining.Load() }
 func (h *Handler) rejectDraining(w http.ResponseWriter) {
 	secs := int(math.Ceil(h.engine.RetryAfter().Seconds()))
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	http.Error(w, "server is draining", http.StatusServiceUnavailable)
+	writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server is draining")
 }
 
 // labelCtx derives the context a synchronous labeling runs under: the
@@ -195,7 +196,41 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) rejectBusy(w http.ResponseWriter, err error) {
 	secs := int(math.Ceil(h.engine.RetryAfter().Seconds()))
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	http.Error(w, err.Error(), http.StatusTooManyRequests)
+	writeError(w, http.StatusTooManyRequests, codeQueueFull, err.Error())
+}
+
+// writeEngineError maps an engine/labeling error to its envelope: 429 on
+// backpressure (Retry-After set), 503 on shutdown or client cancellation,
+// 500 for a contained worker panic, 504 for a lapsed deadline, 413 for a
+// body that ran over the cap mid-stream, 400 for option-validation
+// failures. Shared by every endpoint that runs work on the engine.
+func (h *Handler) writeEngineError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		h.rejectBusy(w, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err.Error())
+	case errors.Is(err, ErrWorkerPanic):
+		// Contained worker panic: this one job failed, the server is
+		// healthy — a retry may well succeed.
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		// The -request-timeout budget (or the client's own deadline)
+		// lapsed; the labeling was canceled at its next poll point.
+		writeError(w, http.StatusGatewayTimeout, codeTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		// Client gave up; nothing useful to write.
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err.Error())
+	case errors.As(err, &tooBig):
+		// The body ran over the cap mid-stream, after labeling began.
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+			fmt.Sprintf("image exceeds %d bytes", tooBig.Limit))
+	default:
+		// Engine labeling errors are option-validation failures
+		// (unknown algorithm, unsupported connectivity or mode).
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
+	}
 }
 
 // labelResponse is the JSON body of a successful /v1/label request.
@@ -206,6 +241,7 @@ type labelResponse struct {
 	Density       float64         `json:"density"`
 	Phases        *phasesJSON     `json:"phases,omitempty"`
 	Components    []componentJSON `json:"components,omitempty"`
+	Contours      []contourJSON   `json:"contours,omitempty"`
 }
 
 type phasesJSON struct {
@@ -222,25 +258,61 @@ type componentJSON struct {
 	Centroid [2]float64 `json:"centroid"`
 }
 
+// contourJSON is one component's outer boundary polyline: clockwise
+// boundary pixels as [x, y] pairs (Moore tracing, 8-connectivity).
+type contourJSON struct {
+	Label  int32    `json:"label"`
+	Points [][2]int `json:"points"`
+}
+
+func contoursJSONFrom(cs []paremsp.Contour) []contourJSON {
+	out := make([]contourJSON, len(cs))
+	for i, c := range cs {
+		pts := make([][2]int, len(c.Points))
+		for j, p := range c.Points {
+			pts[j] = [2]int{p.X, p.Y}
+		}
+		out[i] = contourJSON{Label: int32(c.Label), Points: pts}
+	}
+	return out
+}
+
+// label handles POST /v1/label for the 2-D modes. mode=binary (default)
+// takes PBM/PGM/PNG and binarizes grayscale at ?level=; mode=gray and
+// mode=gray-delta take PGM/PNG and label the gray levels directly
+// (exact-value components, or delta-tolerant ones). ?contours=true
+// additionally traces each component's outer boundary into the JSON
+// response (JSON only). mode=volume is served by POST /v1/volume.
 func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
 	if h.draining.Load() {
 		h.rejectDraining(w)
 		return
 	}
-	accept, ok := negotiateAccept(r.Header.Get("Accept"))
-	if !ok {
-		http.Error(w, fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
-			r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL), http.StatusNotAcceptable)
+	spec, aerr := h.parseSpec(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
 		return
 	}
-	opt, level, wantStats, err := parseOptions(r, h.level, h.defaultAlg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if spec.mode == paremsp.ModeVolume {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument,
+			"mode volume is served by POST /v1/volume")
+		return
+	}
+	accept, ok := negotiateAccept(r.Header.Get("Accept"))
+	if !ok {
+		writeError(w, http.StatusNotAcceptable, codeNotAcceptable,
+			fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
+				r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL))
+		return
+	}
+	if spec.contours && accept != ctJSON {
+		writeError(w, http.StatusNotAcceptable, codeNotAcceptable,
+			fmt.Sprintf("contours are %s only", ctJSON))
 		return
 	}
 	tr := traceFrom(r.Context())
 	if tr != nil {
-		tr.Alg = string(opt.Algorithm)
+		tr.Alg = string(spec.opt.Algorithm)
 		if tr.Alg == "" {
 			tr.Alg = string(paremsp.AlgPAREMSP)
 		}
@@ -249,12 +321,26 @@ func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
 	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, h.maxBytes))
 	kind, err := bodyKind(r.Header.Get("Content-Type"), body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		writeError(w, http.StatusUnsupportedMediaType, codeUnsupportedMedia, err.Error())
 		return
 	}
 
+	gray := spec.mode == paremsp.ModeGray || spec.mode == paremsp.ModeGrayDelta
 	decodeStart := time.Now()
-	d, err := h.decodeRaster(kind, body, opt.Algorithm, level)
+	var (
+		d    decoded
+		gimg *paremsp.GrayImage
+	)
+	if gray {
+		gimg, err = h.decodeGray(kind, body)
+		if err == nil {
+			// Gray labeling has no background: every pixel belongs to a
+			// component, so the foreground density is definitionally 1.
+			d = decoded{width: gimg.Width, height: gimg.Height, density: 1}
+		}
+	} else {
+		d, err = h.decodeRaster(kind, body, spec.opt.Algorithm, spec.level)
+	}
 	if err != nil {
 		h.decodeError(w, err)
 		return
@@ -267,40 +353,33 @@ func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := h.labelCtx(r)
 	defer cancel()
 	var res *paremsp.Result
-	if d.bm != nil {
-		res, err = h.engine.LabelBitmap(ctx, d.bm, opt)
-	} else {
-		res, err = h.engine.Label(ctx, d.img, opt)
+	switch {
+	case gray:
+		res, err = h.engine.LabelGray(ctx, gimg, spec.opt)
+	case d.bm != nil:
+		res, err = h.engine.LabelBitmap(ctx, d.bm, spec.opt)
+	default:
+		res, err = h.engine.Label(ctx, d.img, spec.opt)
 	}
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			h.rejectBusy(w, err)
-		case errors.Is(err, ErrClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		case errors.Is(err, ErrWorkerPanic):
-			// Contained worker panic: this one job failed, the server is
-			// healthy — a retry may well succeed.
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		case errors.Is(err, context.DeadlineExceeded):
-			// The -request-timeout budget (or the client's own deadline)
-			// lapsed; the labeling was canceled at its next poll point.
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
-		case errors.Is(err, context.Canceled):
-			// Client gave up; nothing useful to write.
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		default:
-			// Engine labeling errors are option-validation failures
-			// (unknown algorithm, unsupported connectivity).
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
+		h.writeEngineError(w, err)
 		return
 	}
 	defer h.engine.PutResult(res)
 
 	var comps []paremsp.Component
-	if wantStats && accept == ctJSON {
+	if spec.components && accept == ctJSON {
 		comps = paremsp.ComponentsOf(res.Labels)
+	}
+	var contours []paremsp.Contour
+	if spec.contours {
+		// Tracing runs on the request goroutine under the request context:
+		// it is output shaping, not labeling, so it does not hold a worker.
+		contours, err = paremsp.TraceContoursCtx(ctx, res.Labels, res.NumComponents)
+		if err != nil {
+			h.writeEngineError(w, err)
+			return
+		}
 	}
 	encodeStart := time.Now()
 	if tr != nil {
@@ -309,18 +388,20 @@ func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
 		// only in the /debug/requests trace record.
 		w.Header().Set("Server-Timing", string(appendServerTiming(nil, tr, encodeStart.Sub(tr.Start))))
 	}
-	writeLabeling(w, accept, width, height, density, res.Labels, res.NumComponents, res.Phases, comps)
+	writeLabeling(w, accept, width, height, density, res.Labels, res.NumComponents, res.Phases, comps, contours)
 	if tr != nil {
 		tr.EncodeNs = time.Since(encodeStart).Nanoseconds()
 	}
 }
 
 // writeLabeling renders a finished labeling in the negotiated format; a
-// nil comps omits the per-component list from JSON. It is shared by the
+// nil comps omits the per-component list from JSON, a nil contours the
+// boundary polylines (raster formats carry neither). It is shared by the
 // synchronous /v1/label response (which computes comps on demand) and the
 // async job result endpoint (which serves them precomputed).
 func writeLabeling(w http.ResponseWriter, accept string, width, height int, density float64,
-	lm *paremsp.LabelMap, numComponents int, phases paremsp.PhaseTimes, comps []paremsp.Component) {
+	lm *paremsp.LabelMap, numComponents int, phases paremsp.PhaseTimes, comps []paremsp.Component,
+	contours []paremsp.Contour) {
 	if d := faultinject.Delay(faultinject.EncodeSlow); d > 0 {
 		time.Sleep(d)
 	}
@@ -350,6 +431,9 @@ func writeLabeling(w http.ResponseWriter, accept string, width, height int, dens
 					Centroid: [2]float64{c.CentroidX, c.CentroidY},
 				}
 			}
+		}
+		if contours != nil {
+			resp.Contours = contoursJSONFrom(contours)
 		}
 		w.Header().Set("Content-Type", ctJSON)
 		json.NewEncoder(w).Encode(resp)
@@ -395,32 +479,24 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
-		http.Error(w, fmt.Sprintf("unsupported Accept %q (stats responses are %s)",
-			r.Header.Get("Accept"), ctJSON), http.StatusNotAcceptable)
+		writeError(w, http.StatusNotAcceptable, codeNotAcceptable,
+			fmt.Sprintf("unsupported Accept %q (stats responses are %s)",
+				r.Header.Get("Accept"), ctJSON))
 		return
 	}
-	level := h.level
-	bandRows := 0
-	q := r.URL.Query()
-	if v := q.Get("level"); v != "" {
-		lv, err := strconv.ParseFloat(v, 64)
-		if err != nil || lv < 0 || lv >= 1 {
-			http.Error(w, fmt.Sprintf("invalid level %q (want [0, 1))", v), http.StatusBadRequest)
-			return
-		}
-		level = lv
+	spec, aerr := h.parseSpec(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
 	}
-	if v := q.Get("band"); v != "" {
-		n, err := parseBandRows(v)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		bandRows = n
+	if spec.mode != paremsp.ModeBinary {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument,
+			fmt.Sprintf("stats supports only mode=%s (the band labeler streams binary rasters)", paremsp.ModeBinary))
+		return
 	}
 
 	decodeStart := time.Now()
-	src, err := pnm.NewBandReader(http.MaxBytesReader(w, r.Body, h.maxBytes), level)
+	src, err := pnm.NewBandReader(http.MaxBytesReader(w, r.Body, h.maxBytes), spec.level)
 	if err != nil {
 		h.decodeError(w, err)
 		return
@@ -436,31 +512,96 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := h.labelCtx(r)
 	defer cancel()
-	res, err := h.engine.Stats(ctx, src, band.Options{BandRows: bandRows, Ctx: ctx})
+	res, err := h.engine.Stats(ctx, src, band.Options{BandRows: spec.bandRows, Ctx: ctx})
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			h.rejectBusy(w, err)
-		case errors.Is(err, ErrClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		case errors.Is(err, ErrWorkerPanic):
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		case errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
-		case errors.Is(err, context.Canceled):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		case errors.As(err, &tooBig):
-			// The body ran over the cap mid-stream, after labeling began.
-			http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
-		default:
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
+		h.writeEngineError(w, err)
 		return
 	}
 
 	w.Header().Set("Content-Type", ctJSON)
-	json.NewEncoder(w).Encode(statsResponseFrom(res, bandRows))
+	json.NewEncoder(w).Encode(statsResponseFrom(res, spec.bandRows))
+}
+
+// volumeResponse is the JSON body of a successful /v1/volume request (and
+// of a done volume job's result). The labeled voxel grid itself is not
+// returned — at W*H*D*4 bytes it dwarfs the input — only the component
+// summary; ?components=false drops the per-component voxel counts too.
+type volumeResponse struct {
+	Width          int   `json:"width"`
+	Height         int   `json:"height"`
+	Depth          int   `json:"depth"`
+	NumComponents  int   `json:"num_components"`
+	ComponentSizes []int `json:"component_sizes,omitempty"`
+}
+
+// volume handles POST /v1/volume: the body is a stack of concatenated
+// raw-PGM (P5) frames — every frame one z-slice, all with identical
+// dimensions — binarized at ?level= and labeled as one 3-D volume with
+// 26-connectivity, slab-parallel per the paper's chunked scheme. The
+// response is always JSON.
+func (h *Handler) volume(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		h.rejectDraining(w)
+		return
+	}
+	if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
+		writeError(w, http.StatusNotAcceptable, codeNotAcceptable,
+			fmt.Sprintf("unsupported Accept %q (volume responses are %s)",
+				r.Header.Get("Accept"), ctJSON))
+		return
+	}
+	spec, aerr := h.parseSpec(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	switch spec.mode {
+	case paremsp.ModeBinary:
+		// mode= absent: the endpoint itself selects the volume workload.
+		spec.mode = paremsp.ModeVolume
+		spec.opt.Mode = paremsp.ModeVolume
+	case paremsp.ModeVolume:
+	default:
+		writeError(w, http.StatusBadRequest, codeInvalidArgument,
+			fmt.Sprintf("mode %s is served by POST /v1/label", spec.mode))
+		return
+	}
+
+	decodeStart := time.Now()
+	vol := h.engine.GetVolume()
+	if err := pnm.DecodeVolumeInto(http.MaxBytesReader(w, r.Body, h.maxBytes), spec.level, vol); err != nil {
+		h.engine.PutVolume(vol)
+		h.decodeError(w, err)
+		return
+	}
+	width, height, depth := vol.W, vol.H, vol.D
+	tr := traceFrom(r.Context())
+	if tr != nil {
+		tr.DecodeNs = time.Since(decodeStart).Nanoseconds()
+		tr.Alg = string(spec.opt.Algorithm)
+		if tr.Alg == "" {
+			tr.Alg = string(paremsp.AlgPAREMSP)
+		}
+		tr.Pixels = int64(width) * int64(height) * int64(depth)
+	}
+	ctx, cancel := h.labelCtx(r)
+	defer cancel()
+	res, err := h.engine.LabelVolume(ctx, vol, spec.opt)
+	if err != nil {
+		h.writeEngineError(w, err)
+		return
+	}
+	defer h.engine.PutVolumeResult(res)
+
+	resp := volumeResponse{
+		Width: width, Height: height, Depth: depth,
+		NumComponents: res.NumComponents,
+	}
+	if spec.components {
+		resp.ComponentSizes = paremsp.VolumeComponentSizes(res.Labels, res.NumComponents)
+	}
+	w.Header().Set("Content-Type", ctJSON)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // statsResponseFrom builds the JSON body for a streaming-stats result; it
@@ -535,15 +676,39 @@ func (h *Handler) decodeRaster(kind string, body *bufio.Reader, alg paremsp.Algo
 	return decoded{img: img, width: img.Width, height: img.Height, density: img.Density()}, nil
 }
 
+// decodeGray decodes a gray-mode body ("pnm" = PGM, or PNG) into a pooled
+// gray raster; maxval scaling maps every input onto the 0..255 intensity
+// domain the gray labelers compare. On error the raster is already back in
+// its pool. Shared by the synchronous label path and the async gray jobs.
+func (h *Handler) decodeGray(kind string, body *bufio.Reader) (*paremsp.GrayImage, error) {
+	if faultinject.Fire(faultinject.DecodeError) {
+		return nil, errors.New("faultinject: decode-error")
+	}
+	g := h.engine.GetGray()
+	var err error
+	switch kind {
+	case "pnm":
+		err = pnm.DecodeGrayInto(body, g)
+	case "png":
+		err = pnm.DecodePNGGrayInto(body, g)
+	}
+	if err != nil {
+		h.engine.PutGray(g)
+		return nil, err
+	}
+	return g, nil
+}
+
 // decodeError writes the HTTP failure for a request-body decode error:
 // 413 when the body ran over the size cap, 400 otherwise.
 func (h *Handler) decodeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		http.Error(w, fmt.Sprintf("image exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+			fmt.Sprintf("image exceeds %d bytes", tooBig.Limit))
 		return
 	}
-	http.Error(w, err.Error(), http.StatusBadRequest)
+	writeError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
 }
 
 // bitPackedAlg reports whether alg consumes a packed bitmap natively.
@@ -555,44 +720,6 @@ func bitPackedAlg(alg paremsp.Algorithm) bool {
 func sniffP4(body *bufio.Reader) bool {
 	magic, err := body.Peek(2)
 	return err == nil && magic[0] == 'P' && magic[1] == '4'
-}
-
-// parseOptions builds per-request labeling options from the query string:
-// alg (algorithm name; defAlg when absent), threads, conn (4 or 8), level
-// (binarization threshold), stats (include per-component statistics in JSON;
-// default true).
-func parseOptions(r *http.Request, defLevel float64, defAlg paremsp.Algorithm) (opt paremsp.Options, level float64, wantStats bool, err error) {
-	q := r.URL.Query()
-	level, wantStats = defLevel, true
-	opt.Algorithm = defAlg
-	if v := q.Get("alg"); v != "" {
-		opt.Algorithm = paremsp.Algorithm(v)
-	}
-	if v := q.Get("threads"); v != "" {
-		opt.Threads, err = strconv.Atoi(v)
-		if err != nil || opt.Threads < 0 {
-			return opt, level, wantStats, fmt.Errorf("invalid threads %q", v)
-		}
-	}
-	if v := q.Get("conn"); v != "" {
-		opt.Connectivity, err = strconv.Atoi(v)
-		if err != nil || (opt.Connectivity != 4 && opt.Connectivity != 8) {
-			return opt, level, wantStats, fmt.Errorf("invalid conn %q (want 4 or 8)", v)
-		}
-	}
-	if v := q.Get("level"); v != "" {
-		level, err = strconv.ParseFloat(v, 64)
-		if err != nil || level < 0 || level >= 1 {
-			return opt, level, wantStats, fmt.Errorf("invalid level %q (want [0, 1))", v)
-		}
-	}
-	if v := q.Get("stats"); v != "" {
-		wantStats, err = strconv.ParseBool(v)
-		if err != nil {
-			return opt, level, wantStats, fmt.Errorf("invalid stats %q", v)
-		}
-	}
-	return opt, level, wantStats, nil
 }
 
 // bodyKind resolves the request body codec ("pnm" or "png") from the

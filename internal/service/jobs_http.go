@@ -48,6 +48,7 @@ type jobJSON struct {
 	ExpiresAt     *time.Time    `json:"expires_at,omitempty"`
 	Width         int           `json:"width,omitempty"`
 	Height        int           `json:"height,omitempty"`
+	Depth         int           `json:"depth,omitempty"`
 	NumComponents int           `json:"num_components,omitempty"`
 	Phases        *phasesJSON   `json:"phases,omitempty"`
 	Trace         *jobTraceJSON `json:"trace,omitempty"`
@@ -106,6 +107,7 @@ func jobJSONFrom(j jobs.Job, dedup bool) jobJSON {
 	}
 	if info := j.Info; info != nil {
 		out.Width, out.Height, out.NumComponents = info.Width, info.Height, info.NumComponents
+		out.Depth = info.Depth
 		if out.Trace != nil {
 			out.Trace.DecodeNs = info.DecodeNs
 		}
@@ -133,11 +135,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (h *Handler) batchSizeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		http.Error(w, fmt.Sprintf("batch exceeds %d bytes in total (all parts share one -max-bytes cap; split the batch)",
-			tooBig.Limit), http.StatusRequestEntityTooLarge)
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+			fmt.Sprintf("batch exceeds %d bytes in total (all parts share one -max-bytes cap; split the batch)",
+				tooBig.Limit))
 		return
 	}
-	http.Error(w, err.Error(), http.StatusBadRequest)
+	writeError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
 }
 
 // parseBandRows parses a ?band= value (band height in rows, 0 = default).
@@ -150,44 +153,29 @@ func parseBandRows(v string) (int, error) {
 }
 
 // jobsSubmit handles POST /v1/jobs. Query parameters: kind (labels —
-// default — or stats), plus /v1/label's alg, threads, conn and level for
-// labels jobs and band for stats jobs. A body of Content-Type
-// multipart/form-data is a batch: every part is one image and gets its own
-// job; anything else is a single image. Images that fail to decode still
-// become jobs — ones that fail immediately, observable via their status —
-// so one bad image never voids the rest of a batch.
+// default — stats, contours, gray, or volume), plus the shared spec
+// parameters (alg, threads, conn, level, mode, delta, band). When kind is
+// absent it follows the spec — mode=gray|gray-delta selects gray jobs,
+// mode=volume volume jobs, contours=true contours jobs. A body of
+// Content-Type multipart/form-data is a batch: every part is one payload
+// and gets its own job; anything else is a single payload. Payloads that
+// fail to decode still become jobs — ones that fail immediately,
+// observable via their status — so one bad image never voids the rest of
+// a batch.
 func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 	if h.draining.Load() {
 		h.rejectDraining(w)
 		return
 	}
-	opt, level, _, err := parseOptions(r, h.level, h.defaultAlg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	spec, aerr := h.parseSpec(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
 		return
 	}
-	if opt.Algorithm != "" && !slices.Contains(paremsp.Algorithms(), opt.Algorithm) {
-		http.Error(w, fmt.Sprintf("unknown algorithm %q", opt.Algorithm), http.StatusBadRequest)
+	kind, aerr := jobKindFor(r.URL.Query().Get("kind"), spec)
+	if aerr != nil {
+		writeAPIError(w, aerr)
 		return
-	}
-	kind := jobs.KindLabels
-	if v := r.URL.Query().Get("kind"); v != "" {
-		switch jobs.Kind(v) {
-		case jobs.KindLabels, jobs.KindStats:
-			kind = jobs.Kind(v)
-		default:
-			http.Error(w, fmt.Sprintf("invalid kind %q (want %s or %s)", v, jobs.KindLabels, jobs.KindStats), http.StatusBadRequest)
-			return
-		}
-	}
-	bandRows := 0
-	if v := r.URL.Query().Get("band"); v != "" {
-		n, err := parseBandRows(v)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		bandRows = n
 	}
 
 	mediatype := ""
@@ -221,8 +209,8 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			if len(payloads) == maxBatchParts {
 				p.Close()
-				http.Error(w, fmt.Sprintf("batch has more than %d parts; split it", maxBatchParts),
-					http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, codeInvalidArgument,
+					fmt.Sprintf("batch has more than %d parts; split it", maxBatchParts))
 				return
 			}
 			b, err := io.ReadAll(p)
@@ -234,7 +222,7 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 			payloads = append(payloads, payload{ct: p.Header.Get("Content-Type"), data: b})
 		}
 		if len(payloads) == 0 {
-			http.Error(w, "empty batch: no multipart parts", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "empty batch: no multipart parts")
 			return
 		}
 	} else {
@@ -244,7 +232,7 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(b) == 0 {
-			http.Error(w, "empty request body", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "empty request body")
 			return
 		}
 		payloads = []payload{{ct: r.Header.Get("Content-Type"), data: b}}
@@ -253,7 +241,7 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 	resp := jobsSubmitResponse{Jobs: make([]jobJSON, len(payloads))}
 	full, closed := 0, 0
 	for i, b := range payloads {
-		entry, shedErr := h.submitJob(b.data, b.ct, kind, opt, level, bandRows)
+		entry, shedErr := h.submitJob(b.data, b.ct, kind, spec)
 		resp.Jobs[i] = entry
 		switch {
 		case errors.Is(shedErr, ErrQueueFull):
@@ -266,7 +254,7 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 		// Every image was shed: answer like the synchronous endpoints —
 		// 503 on shutdown, 429 with a backoff hint on backpressure.
 		if closed > 0 {
-			http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, ErrClosed.Error())
 		} else {
 			h.rejectBusy(w, ErrQueueFull)
 		}
@@ -275,25 +263,83 @@ func (h *Handler) jobsSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
-// submitJob creates (or dedups to) the job for one image payload — ct is
-// its declared Content-Type ("" sniffs, matching /v1/label's rules) — and
+// jobKindFor resolves a submission's job kind from the explicit ?kind=
+// and the parsed spec, rejecting contradictory combinations (kind=stats
+// with mode=gray, contours=true on a volume job, ...). With kind absent
+// the spec decides: gray modes map to gray jobs, volume to volume jobs,
+// contours=true to contours jobs, else labels.
+func jobKindFor(kindParam string, spec requestSpec) (jobs.Kind, *apiError) {
+	kind := jobs.Kind(kindParam)
+	if kindParam == "" {
+		switch {
+		case spec.mode == paremsp.ModeGray || spec.mode == paremsp.ModeGrayDelta:
+			kind = jobs.KindGray
+		case spec.mode == paremsp.ModeVolume:
+			kind = jobs.KindVolume
+		case spec.contours:
+			kind = jobs.KindContours
+		default:
+			kind = jobs.KindLabels
+		}
+	}
+	// Modes each kind accepts; binary (the default when ?mode= is absent)
+	// is always accepted and means "the kind's natural mode".
+	var okModes []paremsp.Mode
+	switch kind {
+	case jobs.KindLabels, jobs.KindStats, jobs.KindContours:
+		okModes = []paremsp.Mode{paremsp.ModeBinary}
+	case jobs.KindGray:
+		okModes = []paremsp.Mode{paremsp.ModeBinary, paremsp.ModeGray, paremsp.ModeGrayDelta}
+	case jobs.KindVolume:
+		okModes = []paremsp.Mode{paremsp.ModeBinary, paremsp.ModeVolume}
+	default:
+		return "", badParam("invalid kind %q (want %s, %s, %s, %s or %s)", kindParam,
+			jobs.KindLabels, jobs.KindStats, jobs.KindContours, jobs.KindGray, jobs.KindVolume)
+	}
+	if !slices.Contains(okModes, spec.mode) {
+		return "", badParam("kind %s conflicts with mode %s", kind, spec.mode)
+	}
+	if spec.contours && kind != jobs.KindContours {
+		return "", badParam("contours=true requires kind %s", jobs.KindContours)
+	}
+	return kind, nil
+}
+
+// submitJob creates (or dedups to) the job for one payload — ct is its
+// declared Content-Type ("" sniffs, matching /v1/label's rules) — and
 // hands new work to the engine via admitJob. shedErr is non-nil
-// (ErrQueueFull or ErrClosed) when the engine rejected the image; the job
-// is then marked failed — not removed, since a concurrent identical
+// (ErrQueueFull or ErrClosed) when the engine rejected the payload; the
+// job is then marked failed — not removed, since a concurrent identical
 // submission may already have dedup'd to its ID — and failed jobs are
 // replaced on resubmission.
-func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, opt paremsp.Options, level float64, bandRows int) (entry jobJSON, shedErr error) {
-	// paremsp.JobKey owns the key normalization (default algorithm and
-	// connectivity, the band labeler for stats jobs, level zeroed for raw
-	// PBM), so client-side precomputed IDs match the server's.
-	id := paremsp.JobKey(kind, opt.Algorithm, opt.Connectivity, level, body)
+func (h *Handler) submitJob(body []byte, ct string, kind jobs.Kind, spec requestSpec) (entry jobJSON, shedErr error) {
+	// A gray job submitted without ?mode= labels exact gray levels; a
+	// volume job's mode is implied by its kind. Pinning the mode here keeps
+	// the journaled Params and the job key identical however the request
+	// spelled it.
+	mode := spec.mode
+	switch {
+	case kind == jobs.KindGray && mode == paremsp.ModeBinary:
+		mode = paremsp.ModeGray
+	case kind == jobs.KindVolume:
+		mode = paremsp.ModeVolume
+	}
+	// paremsp.JobKeyMode owns the key normalization (default algorithm,
+	// the mode's connectivity, the delta slot for gray-delta jobs, level
+	// zeroed where binarization cannot matter), so client-side precomputed
+	// IDs match the server's and equivalent submissions dedup.
+	id := paremsp.JobKeyMode(kind, mode, spec.opt.Algorithm, spec.opt.Connectivity, spec.level, spec.opt.Delta, body)
 	p := jobs.Params{
-		Alg:         string(opt.Algorithm),
-		Conn:        opt.Connectivity,
-		Level:       level,
-		Threads:     opt.Threads,
-		BandRows:    bandRows,
+		Alg:         string(spec.opt.Algorithm),
+		Conn:        spec.opt.Connectivity,
+		Level:       spec.level,
+		Threads:     spec.opt.Threads,
+		BandRows:    spec.bandRows,
 		ContentType: ct,
+		Delta:       spec.opt.Delta,
+	}
+	if mode != paremsp.ModeBinary {
+		p.Mode = string(mode)
 	}
 
 	j, existed := h.jobs.CreateOrGet(id, kind, p, body)
@@ -340,6 +386,16 @@ func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p
 		Algorithm:    paremsp.Algorithm(p.Alg),
 		Connectivity: p.Conn,
 		Threads:      p.Threads,
+		Mode:         paremsp.Mode(p.Mode),
+		Delta:        p.Delta,
+	}
+	switch kind {
+	case jobs.KindGray:
+		if opt.Mode == "" {
+			opt.Mode = paremsp.ModeGray
+		}
+	case jobs.KindVolume:
+		opt.Mode = paremsp.ModeVolume
 	}
 	onStart := func() { h.jobs.Start(id, gen) }
 	jctx, jcancel := context.WithCancel(h.baseCtx)
@@ -347,13 +403,14 @@ func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p
 		jctx, jcancel = context.WithTimeout(h.baseCtx, h.jobTimeout)
 	}
 	var (
-		sub           *Submitted
-		err           error
-		width, height int
-		density       float64
+		sub                  *Submitted
+		err                  error
+		width, height, depth int
+		density              float64
 	)
 	decodeStart := time.Now()
-	if kind == jobs.KindStats {
+	switch kind {
+	case jobs.KindStats:
 		src, derr := pnm.NewBandReaderBytes(body, p.Level)
 		if derr != nil {
 			jcancel()
@@ -361,7 +418,33 @@ func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p
 		}
 		width, height = src.Width(), src.Height()
 		sub, err = h.engine.SubmitStats(jctx, src, band.Options{BandRows: p.BandRows, Ctx: jctx}, onStart)
-	} else {
+	case jobs.KindVolume:
+		vol := h.engine.GetVolume()
+		if derr := pnm.DecodeVolumeInto(bytes.NewReader(body), p.Level, vol); derr != nil {
+			h.engine.PutVolume(vol)
+			jcancel()
+			return derr
+		}
+		width, height, depth = vol.W, vol.H, vol.D
+		if len(vol.Vox) > 0 {
+			density = float64(vol.ForegroundCount()) / float64(len(vol.Vox))
+		}
+		sub, err = h.engine.SubmitVolume(jctx, vol, opt, onStart)
+	case jobs.KindGray:
+		br := bufio.NewReader(bytes.NewReader(body))
+		bkind, derr := bodyKind(p.ContentType, br)
+		if derr != nil {
+			jcancel()
+			return derr
+		}
+		g, derr := h.decodeGray(bkind, br)
+		if derr != nil {
+			jcancel()
+			return derr
+		}
+		width, height, density = g.Width, g.Height, 1
+		sub, err = h.engine.SubmitGray(jctx, g, opt, onStart)
+	default: // labels and contours share the binary raster path
 		br := bufio.NewReader(bytes.NewReader(body))
 		bkind, derr := bodyKind(p.ContentType, br)
 		if derr == nil {
@@ -392,7 +475,18 @@ func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p
 	h.jobs.SetQueuePos(id, gen, sub.QueuePosition())
 
 	go func() {
-		res, bres, werr := sub.Wait()
+		res, bres, vres, werr := sub.Wait()
+		var contours []paremsp.Contour
+		if werr == nil && kind == jobs.KindContours {
+			// Trace under jctx — still live here, and fired by DELETE or the
+			// job timeout — so an abandoned contours job stops tracing too.
+			contours, werr = paremsp.TraceContoursCtx(jctx, res.Labels, res.NumComponents)
+			if werr != nil {
+				// The labeling succeeded but the trace was canceled; the
+				// label map is unneeded, back to the pool with it.
+				h.engine.PutResult(res)
+			}
+		}
 		// Release the timeout timer only after the outcome is in: jctx must
 		// stay live while the job sits in the queue and runs.
 		jcancel()
@@ -410,16 +504,24 @@ func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p
 			return
 		}
 		jr := &jobs.Result{ResultInfo: jobs.ResultInfo{
-			Width: width, Height: height, Density: density, DecodeNs: decodeNs,
+			Width: width, Height: height, Depth: depth, Density: density, DecodeNs: decodeNs,
 		}}
-		if bres != nil {
+		switch {
+		case bres != nil:
 			jr.Stats = bres
 			jr.BandRows = p.BandRows
 			jr.Width, jr.Height, jr.NumComponents = bres.Width, bres.Height, bres.NumComponents
 			if px := int64(bres.Width) * int64(bres.Height); px > 0 {
 				jr.Density = float64(bres.ForegroundPixels) / float64(px)
 			}
-		} else {
+		case vres != nil:
+			// Only the component summary is retained — the labeled voxel
+			// grid would dwarf the input — so the label volume goes straight
+			// back to its pool.
+			jr.NumComponents = vres.NumComponents
+			jr.VolumeSizes = paremsp.VolumeComponentSizes(vres.Labels, vres.NumComponents)
+			h.engine.PutVolumeResult(vres)
+		default:
 			// The label map is kept out of the engine pool for as long as
 			// the job lives; eviction or deletion releases it to the GC.
 			// Component statistics are computed once here, so result
@@ -428,6 +530,7 @@ func (h *Handler) admitJob(id string, gen uint64, kind jobs.Kind, body []byte, p
 			jr.Components = paremsp.ComponentsOf(res.Labels)
 			jr.NumComponents = res.NumComponents
 			jr.Phases = res.Phases
+			jr.Contours = contours
 		}
 		h.jobs.Complete(id, gen, jr)
 	}()
@@ -453,21 +556,23 @@ func (h *Handler) RecoverJobs() (requeued, canceled int) {
 func (h *Handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := h.jobs.Get(r.PathValue("id"))
 	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, jobJSONFrom(j, false))
 }
 
-// jobResult handles GET /v1/jobs/{id}/result. Done labels jobs render in
-// the negotiated format (JSON statistics, PGM/PNG label map, or a CCL1
-// stream; ?stats=false omits per-component statistics from JSON); done
-// stats jobs are JSON only. Any other state answers 409 with the status
-// body, so pollers can distinguish "not yet" from "never existed" (404).
+// jobResult handles GET /v1/jobs/{id}/result. Done labels, contours and
+// gray jobs render in the negotiated format (JSON statistics, PGM/PNG
+// label map, or a CCL1 stream; ?components=false omits per-component
+// statistics from JSON, and contours jobs carry their boundary polylines
+// in JSON); done stats and volume jobs are JSON only. Any other state
+// answers 409 with the status body, so pollers can distinguish "not yet"
+// from "never existed" (404).
 func (h *Handler) jobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := h.jobs.Get(r.PathValue("id"))
 	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown job")
 		return
 	}
 	if j.State != jobs.StateDone {
@@ -480,42 +585,57 @@ func (h *Handler) jobResult(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, jobs.ErrNoBlob) {
 			// The job was evicted or deleted between the Get and the fetch.
-			http.Error(w, "unknown job", http.StatusNotFound)
+			writeError(w, http.StatusNotFound, codeNotFound, "unknown job")
 			return
 		}
-		http.Error(w, fmt.Sprintf("read result: %v", err), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("read result: %v", err))
 		return
 	}
-	if res.Stats != nil {
+	if res.Stats != nil || res.Labels == nil {
+		// Stats and volume results have no raster to negotiate: JSON only.
 		if accept, ok := negotiateAccept(r.Header.Get("Accept")); !ok || accept != ctJSON {
-			http.Error(w, fmt.Sprintf("unsupported Accept %q (stats results are %s)",
-				r.Header.Get("Accept"), ctJSON), http.StatusNotAcceptable)
+			writeError(w, http.StatusNotAcceptable, codeNotAcceptable,
+				fmt.Sprintf("unsupported Accept %q (this result is %s)",
+					r.Header.Get("Accept"), ctJSON))
 			return
 		}
 		w.Header().Set("Content-Type", ctJSON)
-		json.NewEncoder(w).Encode(statsResponseFrom(res.Stats, res.BandRows))
+		if res.Stats != nil {
+			json.NewEncoder(w).Encode(statsResponseFrom(res.Stats, res.BandRows))
+			return
+		}
+		json.NewEncoder(w).Encode(volumeResponse{
+			Width: res.Width, Height: res.Height, Depth: res.Depth,
+			NumComponents:  res.NumComponents,
+			ComponentSizes: res.VolumeSizes,
+		})
 		return
 	}
 	accept, ok := negotiateAccept(r.Header.Get("Accept"))
 	if !ok {
-		http.Error(w, fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
-			r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL), http.StatusNotAcceptable)
+		writeError(w, http.StatusNotAcceptable, codeNotAcceptable,
+			fmt.Sprintf("unsupported Accept %q (want %s, %s, %s or %s)",
+				r.Header.Get("Accept"), ctJSON, ctPGM, ctPNG, ctCCL))
 		return
 	}
-	wantStats := true
-	if v := r.URL.Query().Get("stats"); v != "" {
+	wantComps := true
+	v := r.URL.Query().Get("components")
+	if v == "" {
+		v = r.URL.Query().Get("stats") // deprecated alias, one release
+	}
+	if v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("invalid stats %q", v), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Sprintf("invalid components %q", v))
 			return
 		}
-		wantStats = b
+		wantComps = b
 	}
 	var comps []paremsp.Component
-	if wantStats {
+	if wantComps {
 		comps = res.Components
 	}
-	writeLabeling(w, accept, res.Width, res.Height, res.Density, res.Labels, res.NumComponents, res.Phases, comps)
+	writeLabeling(w, accept, res.Width, res.Height, res.Density, res.Labels, res.NumComponents, res.Phases, comps, res.Contours)
 }
 
 // jobDelete handles DELETE /v1/jobs/{id}: the job and its retained result
@@ -526,7 +646,7 @@ func (h *Handler) jobResult(w http.ResponseWriter, r *http.Request) {
 // worker for other requests.
 func (h *Handler) jobDelete(w http.ResponseWriter, r *http.Request) {
 	if !h.jobs.Remove(r.PathValue("id")) {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown job")
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -224,12 +224,12 @@ func TestDrainRejectsQueuedJobs(t *testing.T) {
 	if ok := <-drained; !ok {
 		t.Fatal("Drain timed out")
 	}
-	if res, _, err := running.Wait(); err != nil {
+	if res, _, _, err := running.Wait(); err != nil {
 		t.Fatalf("running job failed during drain: %v", err)
 	} else {
 		eng.PutResult(res)
 	}
-	if _, _, err := queued.Wait(); !errors.Is(err, context.Canceled) {
+	if _, _, _, err := queued.Wait(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("queued job err = %v, want context.Canceled", err)
 	}
 	if _, err := eng.Label(context.Background(), testImage(t), paremsp.Options{}); !errors.Is(err, ErrClosed) {

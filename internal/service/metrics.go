@@ -27,12 +27,17 @@ const (
 	poolBitmap
 	poolLabelMap
 	poolScratch
+	poolGray
+	poolVolume
+	poolLabelVol
 	poolCount
 )
 
 // poolNames maps pool indices to the `pool` label values on
 // ccserve_pool_get_total / ccserve_pool_miss_total.
-var poolNames = [poolCount]string{"image", "bitmap", "labelmap", "scratch"}
+var poolNames = [poolCount]string{
+	"image", "bitmap", "labelmap", "scratch", "gray", "volume", "labelvol",
+}
 
 // metrics is the engine's live counter set. Everything is atomic so the hot
 // path never takes a lock to account a request; the histograms are atomic

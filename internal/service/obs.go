@@ -20,6 +20,7 @@ import (
 const (
 	epLabel = iota
 	epStats
+	epVolume
 	epJobsSubmit
 	epJobStatus
 	epJobResult
@@ -33,7 +34,7 @@ const (
 // epNames maps endpoint indices to the `endpoint` label values on
 // ccserve_http_request_duration_ns.
 var epNames = [epCount]string{
-	"label", "stats", "jobs_submit", "job_status", "job_result",
+	"label", "stats", "volume", "jobs_submit", "job_status", "job_result",
 	"job_delete", "healthz", "metrics", "other",
 }
 
@@ -45,6 +46,8 @@ func endpointOf(pattern string) int {
 		return epLabel
 	case "POST /v1/stats":
 		return epStats
+	case "POST /v1/volume":
+		return epVolume
 	case "POST /v1/jobs":
 		return epJobsSubmit
 	case "GET /v1/jobs/{id}":

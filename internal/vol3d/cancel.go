@@ -1,0 +1,234 @@
+// Cooperative cancellation entry points, mirroring internal/core's contract:
+// every *IntoCtx function is its non-ctx counterpart labeling into a
+// caller-provided label volume and drawing its equivalence buffer from a
+// caller-provided parent slice, with the long voxel loops (scan and relabel)
+// polling ctx's done channel every few dozen raster rows. The
+// boundary-plane merge and flatten phases are not polled internally — they
+// touch the equivalence table, not the raster — so the parallel driver
+// checks the context between phases instead.
+//
+// A canceled labeling leaves lv in an undefined (but reusable) state; callers
+// must discard the result.
+
+package vol3d
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/binimg"
+	"repro/internal/unionfind"
+)
+
+// pollRows matches the core/scan layers' poll amortization: 64 raster rows
+// of work between done-channel polls.
+const pollRows = 64
+
+// ctxDone returns ctx's done channel; nil (never cancels) for a nil ctx.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelErr returns ctx's error once its done channel closed, defaulting to
+// context.Canceled.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// stopped reports whether done is closed without blocking; a nil done never
+// stops.
+func stopped(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Reset reshapes v to w×h×d, reusing the voxel buffer when large enough;
+// contents are zeroed. Long-lived servers decode request bodies into pooled
+// volumes this way.
+func (v *Volume) Reset(w, h, d int) {
+	if w < 0 || h < 0 || d < 0 {
+		panic(fmt.Sprintf("vol3d: negative dimensions %dx%dx%d", w, h, d))
+	}
+	n := w * h * d
+	if cap(v.Vox) < n {
+		v.Vox = make([]uint8, n)
+	} else {
+		v.Vox = v.Vox[:n]
+		clear(v.Vox)
+	}
+	v.W, v.H, v.D = w, h, d
+}
+
+// Reset reshapes lv to w×h×d, reusing the label buffer when large enough;
+// contents are zeroed.
+func (lv *LabelVolume) Reset(w, h, d int) {
+	if w < 0 || h < 0 || d < 0 {
+		panic(fmt.Sprintf("vol3d: negative dimensions %dx%dx%d", w, h, d))
+	}
+	n := w * h * d
+	if cap(lv.L) < n {
+		lv.L = make([]binimg.Label, n)
+	} else {
+		lv.L = lv.L[:n]
+		clear(lv.L)
+	}
+	lv.W, lv.H, lv.D = w, h, d
+}
+
+// checkParents panics when the caller-provided parent slice cannot hold the
+// labels this volume may create; p must also be zeroed
+// (core.Scratch.Parents guarantees both).
+func checkParents(p []binimg.Label, need int) {
+	if len(p) < need+1 {
+		panic(fmt.Sprintf("vol3d: parent slice holds %d labels, need %d", len(p)-1, need))
+	}
+}
+
+// LabelIntoCtx is Label into a caller-provided label volume (reshaped with
+// Reset) with cooperative cancellation. p must be a zeroed parent slice with
+// at least MaxLabels3D(w,h,d)+1 slots —
+// core.Scratch.Parents(MaxLabels3D(w,h,d)) provides one.
+func LabelIntoCtx(ctx context.Context, vol *Volume, lv *LabelVolume, p []binimg.Label) (int, error) {
+	lv.Reset(vol.W, vol.H, vol.D)
+	if len(vol.Vox) == 0 {
+		return 0, nil
+	}
+	checkParents(p, MaxLabels3D(vol.W, vol.H, vol.D))
+	done := ctxDone(ctx)
+	count, ok := scanRange(vol, lv, p, 0, 0, vol.D, done)
+	if !ok {
+		return 0, cancelErr(ctx)
+	}
+	n := unionfind.Flatten(p, count)
+	if !relabelVolUntil(lv.L, p, vol.W, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// PLabelIntoCtx is PLabel into a caller-provided label volume with
+// cooperative cancellation. p must be a zeroed parent slice with at least
+// MaxLabels3D(w,h,d)+1 slots (the per-plane-pair strides sum to exactly that
+// bound); lt is the stripe-lock table for the boundary-plane merges (nil
+// allocates a default one).
+func PLabelIntoCtx(ctx context.Context, vol *Volume, lv *LabelVolume, p []binimg.Label, lt *unionfind.LockTable, threads int) (int, error) {
+	w, h, d := vol.W, vol.H, vol.D
+	lv.Reset(w, h, d)
+	if len(vol.Vox) == 0 {
+		return 0, nil
+	}
+	numPairs := (d + 1) / 2
+	if threads <= 0 || threads > numPairs {
+		threads = numPairs
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	// Per z-plane pair label budget, mirroring PAREMSP's per-row-pair stride.
+	stride := binimg.Label(((w + 1) / 2) * ((h + 1) / 2))
+	maxLabel := binimg.Label(numPairs) * stride
+	checkParents(p, int(maxLabel))
+	done := ctxDone(ctx)
+
+	starts := make([]int, threads+1)
+	base, rem := numPairs/threads, numPairs%threads
+	pair := 0
+	for c := 0; c < threads; c++ {
+		starts[c] = pair * 2
+		pair += base
+		if c < rem {
+			pair++
+		}
+	}
+	starts[threads] = d
+
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < threads; c++ {
+		zStart, zEnd := starts[c], starts[c+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			offset := binimg.Label(zStart/2) * stride
+			if _, ok := scanRange(vol, lv, p, offset, zStart, zEnd, done); !ok {
+				canceled.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return 0, cancelErr(ctx)
+	}
+
+	if lt == nil {
+		lt = unionfind.NewLockTable(0)
+	}
+	for _, z := range starts[1:threads] {
+		z := z
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mergeBoundaryPlane(vol, lv, p, lt, z)
+		}()
+	}
+	wg.Wait()
+	if stopped(done) {
+		return 0, cancelErr(ctx)
+	}
+
+	n := unionfind.FlattenSparse(p, maxLabel)
+	if !relabelParUntil(lv, p, threads, done) {
+		return 0, cancelErr(ctx)
+	}
+	return int(n), nil
+}
+
+// relabelVolUntil rewrites provisional labels through p in blocks of
+// pollRows raster rows, polling done between blocks; reports whether it ran
+// to completion.
+func relabelVolUntil(l, p []binimg.Label, w int, done <-chan struct{}) bool {
+	if done == nil {
+		for i, v := range l {
+			if v != 0 {
+				l[i] = p[v]
+			}
+		}
+		return true
+	}
+	block := pollRows * w
+	if block < 1<<12 {
+		block = 1 << 12
+	}
+	for lo := 0; lo < len(l); lo += block {
+		if stopped(done) {
+			return false
+		}
+		hi := lo + block
+		if hi > len(l) {
+			hi = len(l)
+		}
+		seg := l[lo:hi]
+		for i, v := range seg {
+			if v != 0 {
+				seg[i] = p[v]
+			}
+		}
+	}
+	return true
+}

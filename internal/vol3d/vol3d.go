@@ -9,8 +9,10 @@
 package vol3d
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/binimg"
 	"repro/internal/unionfind"
@@ -98,14 +100,20 @@ var visited13 = [13][3]int{
 
 // scanRange labels the z-slab [zStart, zEnd) of vol into lv, drawing labels
 // from offset+1 in the shared parent array p; planes below zStart are never
-// read. Returns the last label used.
-func scanRange(vol *Volume, lv *LabelVolume, p []binimg.Label, offset binimg.Label, zStart, zEnd int) binimg.Label {
+// read. Polls done every pollRows raster rows. Returns the last label used
+// and whether it ran to completion.
+func scanRange(vol *Volume, lv *LabelVolume, p []binimg.Label, offset binimg.Label, zStart, zEnd int, done <-chan struct{}) (binimg.Label, bool) {
 	w, h := vol.W, vol.H
 	vox := vol.Vox
 	lab := lv.L
 	count := offset
+	rows := 0
 	for z := zStart; z < zEnd; z++ {
 		for y := 0; y < h; y++ {
+			if rows%pollRows == 0 && stopped(done) {
+				return count, false
+			}
+			rows++
 			base := (z*h + y) * w
 			for x := 0; x < w; x++ {
 				if vox[base+x] == 0 {
@@ -136,7 +144,7 @@ func scanRange(vol *Volume, lv *LabelVolume, p []binimg.Label, offset binimg.Lab
 			}
 		}
 	}
-	return count
+	return count, true
 }
 
 // Label computes the 26-connected components of vol with the sequential
@@ -144,18 +152,9 @@ func scanRange(vol *Volume, lv *LabelVolume, p []binimg.Label, offset binimg.Lab
 // and n.
 func Label(vol *Volume) (*LabelVolume, int) {
 	lv := NewLabelVolume(vol.W, vol.H, vol.D)
-	if len(vol.Vox) == 0 {
-		return lv, 0
-	}
 	p := make([]binimg.Label, MaxLabels3D(vol.W, vol.H, vol.D)+1)
-	count := scanRange(vol, lv, p, 0, 0, vol.D)
-	n := unionfind.Flatten(p, count)
-	for i, v := range lv.L {
-		if v != 0 {
-			lv.L[i] = p[v]
-		}
-	}
-	return lv, int(n)
+	n, _ := LabelIntoCtx(context.Background(), vol, lv, p)
+	return lv, n
 }
 
 // PLabel is the PAREMSP construction applied along z: the volume is slabbed
@@ -163,62 +162,10 @@ func Label(vol *Volume) (*LabelVolume, int) {
 // ranges; each slab-boundary plane is merged against the plane below it with
 // the concurrent lock-based REM union; sparse flatten; parallel relabel.
 func PLabel(vol *Volume, threads int) (*LabelVolume, int) {
-	w, h, d := vol.W, vol.H, vol.D
-	lv := NewLabelVolume(w, h, d)
-	if len(vol.Vox) == 0 {
-		return lv, 0
-	}
-	numPairs := (d + 1) / 2
-	if threads <= 0 || threads > numPairs {
-		threads = numPairs
-	}
-	if threads < 1 {
-		threads = 1
-	}
-
-	// Per z-plane pair label budget, mirroring PAREMSP's per-row-pair stride.
-	stride := binimg.Label(((w + 1) / 2) * ((h + 1) / 2))
-	maxLabel := binimg.Label(numPairs) * stride
-	p := make([]binimg.Label, maxLabel+1)
-
-	starts := make([]int, threads+1)
-	base, rem := numPairs/threads, numPairs%threads
-	pair := 0
-	for c := 0; c < threads; c++ {
-		starts[c] = pair * 2
-		pair += base
-		if c < rem {
-			pair++
-		}
-	}
-	starts[threads] = d
-
-	var wg sync.WaitGroup
-	for c := 0; c < threads; c++ {
-		zStart, zEnd := starts[c], starts[c+1]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			offset := binimg.Label(zStart/2) * stride
-			scanRange(vol, lv, p, offset, zStart, zEnd)
-		}()
-	}
-	wg.Wait()
-
-	lt := unionfind.NewLockTable(0)
-	for _, z := range starts[1:threads] {
-		z := z
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mergeBoundaryPlane(vol, lv, p, lt, z)
-		}()
-	}
-	wg.Wait()
-
-	n := unionfind.FlattenSparse(p, maxLabel)
-	relabelPar(lv, p, threads)
-	return lv, int(n)
+	lv := NewLabelVolume(vol.W, vol.H, vol.D)
+	p := make([]binimg.Label, MaxLabels3D(vol.W, vol.H, vol.D)+1)
+	n, _ := PLabelIntoCtx(context.Background(), vol, lv, p, nil, threads)
+	return lv, n
 }
 
 // mergeBoundaryPlane unites every foreground voxel of plane z with its
@@ -254,11 +201,14 @@ func mergeBoundaryPlane(vol *Volume, lv *LabelVolume, p []binimg.Label, lt *unio
 	}
 }
 
-// relabelPar rewrites provisional labels to final labels in parallel.
-func relabelPar(lv *LabelVolume, p []binimg.Label, threads int) {
+// relabelParUntil rewrites provisional labels to final labels in parallel,
+// each goroutine polling done every pollRows raster rows; reports whether
+// every chunk ran to completion.
+func relabelParUntil(lv *LabelVolume, p []binimg.Label, threads int, done <-chan struct{}) bool {
 	l := lv.L
 	n := len(l)
 	chunk := (n + threads - 1) / threads
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -268,14 +218,13 @@ func relabelPar(lv *LabelVolume, p []binimg.Label, threads int) {
 		wg.Add(1)
 		go func(part []binimg.Label) {
 			defer wg.Done()
-			for i, v := range part {
-				if v != 0 {
-					part[i] = p[v]
-				}
+			if !relabelVolUntil(part, p, lv.W, done) {
+				canceled.Store(true)
 			}
 		}(l[lo:hi])
 	}
 	wg.Wait()
+	return !canceled.Load()
 }
 
 // FloodFill is the 3D reference labeler. conn26 selects 26-connectivity;
